@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! threshold replication potential `T` (eq. 6), packing affinity (what
+//! functional replication recovers), and gain evaluation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_core::{bipartition, BipartitionConfig, EngineState, ReplicationMode};
+use netpart_netlist::bench_suite;
+use netpart_techmap::{map, MapperConfig};
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    let nl = bench_suite::build_scaled("s5378", 2).expect("known benchmark");
+    let hg = map(&nl, &MapperConfig::xc3000())
+        .expect("maps")
+        .to_hypergraph(&nl);
+    for t in [0u32, 1, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("T", t), &hg, |b, hg| {
+            let cfg = BipartitionConfig::equal(hg, 0.1)
+                .with_seed(1)
+                .with_replication(ReplicationMode::functional(t));
+            b.iter(|| bipartition(hg, &cfg).cut)
+        });
+    }
+    group.finish();
+}
+
+fn bench_pack_affinity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pack_affinity");
+    group.sample_size(10);
+    let nl = bench_suite::build_scaled("c3540", 2).expect("known benchmark");
+    for aff in [0.5f64, 0.85, 1.0] {
+        let cfg = MapperConfig::xc3000().with_pack_affinity(aff);
+        let hg = map(&nl, &cfg).expect("maps").to_hypergraph(&nl);
+        group.bench_with_input(
+            BenchmarkId::new("affinity", format!("{aff}")),
+            &hg,
+            |b, hg| {
+                let cfg = BipartitionConfig::equal(hg, 0.1)
+                    .with_seed(1)
+                    .with_replication(ReplicationMode::functional(0));
+                b.iter(|| bipartition(hg, &cfg).cut)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gain_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gain_eval");
+    let nl = bench_suite::build_scaled("c3540", 2).expect("known benchmark");
+    let hg = map(&nl, &MapperConfig::xc3000())
+        .expect("maps")
+        .to_hypergraph(&nl);
+    let sides: Vec<u8> = (0..hg.n_cells()).map(|i| (i % 2) as u8).collect();
+    let engine = EngineState::new(&hg, &sides);
+    group.bench_function("peek_all_moves", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for cell in hg.cell_ids() {
+                acc += engine.peek_gain(
+                    cell,
+                    netpart_core::CellState::Single {
+                        side: 1 - (cell.0 % 2) as u8,
+                    },
+                );
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold, bench_pack_affinity, bench_gain_eval);
+criterion_main!(benches);

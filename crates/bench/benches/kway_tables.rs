@@ -1,0 +1,39 @@
+//! Criterion bench for the Tables IV–VII kernel: cost-driven k-way
+//! partitioning into the heterogeneous XC3000 library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_core::{kway_partition, KWayConfig, ReplicationMode};
+use netpart_fpga::DeviceLibrary;
+use netpart_netlist::bench_suite;
+use netpart_techmap::{map, MapperConfig};
+
+fn bench_kway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kway_tables4_to_7");
+    group.sample_size(10);
+    let nl = bench_suite::build_scaled("s5378", 2).expect("known benchmark");
+    let hg = map(&nl, &MapperConfig::xc3000())
+        .expect("maps")
+        .to_hypergraph(&nl);
+    let label = format!("s5378/{}clb", hg.stats().clbs);
+    for (mode_name, mode) in [
+        ("no-replication", ReplicationMode::None),
+        ("functional-T1", ReplicationMode::functional(1)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(mode_name, &label), &hg, |b, hg| {
+            let cfg = KWayConfig::new(DeviceLibrary::xc3000())
+                .with_candidates(2)
+                .with_seed(5)
+                .with_max_passes(8)
+                .with_replication(mode);
+            b.iter(|| {
+                kway_partition(hg, &cfg)
+                    .map(|r| r.evaluation.total_cost)
+                    .unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kway);
+criterion_main!(benches);

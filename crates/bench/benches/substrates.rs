@@ -1,0 +1,36 @@
+//! Criterion benches for the substrates behind Table II and Figure 3:
+//! circuit synthesis, technology mapping, hypergraph emission and the
+//! replication-potential distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netpart_netlist::{bench_suite, generate, GeneratorConfig};
+use netpart_techmap::{map, MapperConfig};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    let cfg = GeneratorConfig::new(2000).with_dff(120).with_seed(9);
+    group.bench_function("generate/2000g", |b| b.iter(|| generate(&cfg).n_gates()));
+
+    let nl = bench_suite::build("c3540").expect("known benchmark");
+    group.bench_function("techmap/c3540", |b| {
+        b.iter(|| map(&nl, &MapperConfig::xc3000()).expect("maps").n_clbs())
+    });
+
+    let mapped = map(&nl, &MapperConfig::xc3000()).expect("maps");
+    group.bench_function("to_hypergraph/c3540", |b| {
+        b.iter(|| mapped.to_hypergraph(&nl).n_cells())
+    });
+
+    let hg = mapped.to_hypergraph(&nl);
+    group.bench_function("figure3_distribution/c3540", |b| {
+        b.iter(|| hg.replication_potential_distribution().len())
+    });
+
+    group.bench_function("table2_stats/c3540", |b| b.iter(|| hg.stats().pins));
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the Table III kernel: equal-halves FM
+//! bipartitioning with and without replication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_core::{bipartition, BipartitionConfig, ReplicationMode};
+use netpart_netlist::bench_suite;
+use netpart_techmap::{map, MapperConfig};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_bipartition");
+    group.sample_size(10);
+    for (name, scale) in [("c3540", 1usize), ("s9234", 4)] {
+        let nl = bench_suite::build_scaled(name, scale).expect("known benchmark");
+        let hg = map(&nl, &MapperConfig::xc3000())
+            .expect("maps")
+            .to_hypergraph(&nl);
+        let label = format!("{name}/{}clb", hg.stats().clbs);
+        for (mode_name, mode) in [
+            ("fm", ReplicationMode::None),
+            ("fm+traditional", ReplicationMode::Traditional),
+            ("fm+functional", ReplicationMode::functional(0)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(mode_name, &label),
+                &hg,
+                |b, hg| {
+                    let cfg = BipartitionConfig::equal(hg, 0.1)
+                        .with_seed(1)
+                        .with_replication(mode);
+                    b.iter(|| bipartition(hg, &cfg).cut)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Regenerates the paper's tables and figure.
+//!
+//! ```text
+//! tables <exhibit> [--runs N] [--candidates N] [--scale N] [--out DIR] [--only NAME,...]
+//!
+//! exhibit: table1 | table2 | table3 | table4 (IV–VII) | figure3 | all
+//! --runs N        bipartition runs per circuit for Table III (default 20)
+//! --candidates N  feasible k-way partitions per run for Tables IV–VII (default 10)
+//! --scale N       shrink every benchmark by N× (default 1 = paper scale)
+//! --out DIR       CSV output directory (default results/)
+//! --only LIST     comma-separated circuit subset
+//! ```
+
+use netpart_bench::{figure3, table1, table2, table3, tables_4_to_7, try_suite};
+use netpart_report::Table;
+use std::path::PathBuf;
+
+struct Options {
+    exhibit: String,
+    runs: usize,
+    candidates: usize,
+    scale: usize,
+    out: PathBuf,
+    only: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        exhibit: String::new(),
+        runs: 20,
+        candidates: 10,
+        scale: 1,
+        out: PathBuf::from("results"),
+        only: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--runs" => opts.runs = need("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--candidates" => {
+                opts.candidates = need("--candidates")?
+                    .parse()
+                    .map_err(|e| format!("--candidates: {e}"))?
+            }
+            "--scale" => {
+                opts.scale = need("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--out" => opts.out = PathBuf::from(need("--out")?),
+            "--only" => {
+                opts.only = need("--only")?.split(',').map(str::to_string).collect()
+            }
+            _ if a.starts_with('-') => return Err(format!("unknown flag {a}")),
+            _ if opts.exhibit.is_empty() => opts.exhibit = a,
+            _ => return Err(format!("unexpected argument {a}")),
+        }
+    }
+    if opts.exhibit.is_empty() {
+        opts.exhibit = "all".into();
+    }
+    Ok(opts)
+}
+
+fn emit(table: &Table, out: &PathBuf, file: &str) {
+    println!("{table}");
+    if std::fs::create_dir_all(out).is_ok() {
+        let path = out.join(file);
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("(csv: {})\n", path.display());
+        }
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let only: Vec<&str> = opts.only.iter().map(String::as_str).collect();
+    let want = |x: &str| opts.exhibit == "all" || opts.exhibit == x;
+    let mut matched = false;
+
+    if want("table1") {
+        matched = true;
+        emit(&table1(), &opts.out, "table1.csv");
+    }
+    let needs_suite = ["table2", "table3", "table4", "figure3"]
+        .iter()
+        .any(|x| want(x));
+    if needs_suite {
+        matched = true;
+        eprintln!(
+            "building benchmark suite (scale 1/{}, circuits: {}) ...",
+            opts.scale,
+            if only.is_empty() { "all" } else { "subset" }
+        );
+        let s = match try_suite(opts.scale, &only) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        if want("table2") {
+            emit(&table2(&s), &opts.out, "table2.csv");
+        }
+        if want("figure3") {
+            emit(&figure3(&s), &opts.out, "figure3.csv");
+        }
+        if want("table3") {
+            eprintln!("running Table III ({} runs per circuit) ...", opts.runs);
+            let (t, _) = table3(&s, opts.runs);
+            emit(&t, &opts.out, "table3.csv");
+        }
+        if want("table4") {
+            eprintln!(
+                "running Tables IV–VII ({} feasible partitions per run) ...",
+                opts.candidates
+            );
+            let (t4, t5, t6, t7, _) = tables_4_to_7(&s, opts.candidates, 2024);
+            emit(&t4, &opts.out, "table4.csv");
+            emit(&t5, &opts.out, "table5.csv");
+            emit(&t6, &opts.out, "table6.csv");
+            emit(&t7, &opts.out, "table7.csv");
+        }
+    }
+    if !matched {
+        eprintln!(
+            "error: unknown exhibit {:?} (expected table1|table2|table3|table4|figure3|all)",
+            opts.exhibit
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,468 @@
+//! The paper's experiments (§IV), one driver per exhibit.
+
+use netpart_core::{
+    kway_partition, run_many, BipartitionConfig, KWayConfig, ReplicationMode,
+};
+use netpart_fpga::DeviceLibrary;
+use netpart_hypergraph::Hypergraph;
+use netpart_netlist::bench_suite;
+use netpart_report::{f1, f2, pct, Table};
+use netpart_techmap::{map, MapperConfig};
+use std::time::Instant;
+
+/// Builds and technology-maps the benchmark suite.
+///
+/// `scale_down > 1` shrinks every circuit by that factor (for quick runs
+/// and benches); `names` restricts the suite (empty = all nine).
+///
+/// # Errors
+///
+/// Returns the offending name if a requested circuit is unknown.
+///
+/// # Panics
+///
+/// Panics if mapping fails (the generated suite always maps).
+pub fn try_suite(
+    scale_down: usize,
+    names: &[&str],
+) -> Result<Vec<(String, Hypergraph)>, String> {
+    let selected: Vec<&str> = if names.is_empty() {
+        bench_suite::names().collect()
+    } else {
+        names.to_vec()
+    };
+    selected
+        .iter()
+        .map(|name| {
+            let nl = if scale_down <= 1 {
+                bench_suite::build(name)
+            } else {
+                bench_suite::build_scaled(name, scale_down)
+            }
+            .ok_or_else(|| {
+                format!(
+                    "unknown benchmark {name:?} (expected one of: {})",
+                    bench_suite::names().collect::<Vec<_>>().join(", ")
+                )
+            })?;
+            let mapped = map(&nl, &MapperConfig::xc3000()).expect("suite maps cleanly");
+            Ok(((*name).to_string(), mapped.to_hypergraph(&nl)))
+        })
+        .collect()
+}
+
+/// Builds and technology-maps the benchmark suite.
+///
+/// # Panics
+///
+/// Panics if a requested name is unknown; see [`try_suite`] for the
+/// fallible form.
+pub fn suite(scale_down: usize, names: &[&str]) -> Vec<(String, Hypergraph)> {
+    match try_suite(scale_down, names) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Table I: the XC3000 device library.
+pub fn table1() -> Table {
+    let lib = DeviceLibrary::xc3000();
+    let mut t = Table::new(
+        "Table I — XC3000 device library subset",
+        &["Device", "c_i (CLB)", "t_i (IOB)", "d_i (N$)", "l_i", "u_i", "d_i/c_i"],
+    );
+    for d in &lib {
+        t.row([
+            d.name().to_string(),
+            d.clbs().to_string(),
+            d.iobs().to_string(),
+            d.price().to_string(),
+            f2(d.min_util()),
+            f2(d.max_util()),
+            f2(d.cost_per_clb()),
+        ]);
+    }
+    t
+}
+
+/// Table II: benchmark circuit characteristics after XC3000 mapping.
+pub fn table2(suite: &[(String, Hypergraph)]) -> Table {
+    let mut t = Table::new(
+        "Table II — benchmark circuit characteristics (synthetic stand-ins)",
+        &["Circuit", "#CLBs", "#IOBs", "#DFF", "#NETs", "#PINs"],
+    );
+    for (name, hg) in suite {
+        let s = hg.stats();
+        t.row([
+            name.clone(),
+            s.clbs.to_string(),
+            s.iobs.to_string(),
+            s.dffs.to_string(),
+            s.nets.to_string(),
+            s.pins.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 3: distribution of cells over replication potential `ψ`
+/// (percent of interior cells; `0*` is the paper's bucket for
+/// multi-output cells with `ψ = 0`).
+pub fn figure3(suite: &[(String, Hypergraph)]) -> Table {
+    let mut t = Table::new(
+        "Figure 3 — cell distribution vs replication potential ψ (% of cells)",
+        &["Circuit", "ψ=0 (1-out)", "ψ=0* (multi)", "ψ=1", "ψ=2", "ψ=3", "ψ=4", "ψ≥5"],
+    );
+    for (name, hg) in suite {
+        let mut buckets = [0usize; 7];
+        let mut total = 0usize;
+        for c in hg.cells() {
+            if c.is_terminal() {
+                continue;
+            }
+            total += 1;
+            let psi = c.replication_potential();
+            let idx = match (psi, c.m_outputs()) {
+                (0, 0 | 1) => 0,
+                (0, _) => 1,
+                (1, _) => 2,
+                (2, _) => 3,
+                (3, _) => 4,
+                (4, _) => 5,
+                _ => 6,
+            };
+            buckets[idx] += 1;
+        }
+        let mut row = vec![name.clone()];
+        row.extend(
+            buckets
+                .iter()
+                .map(|&b| pct(b as f64 / total.max(1) as f64)),
+        );
+        t.row(row);
+    }
+    t
+}
+
+/// One circuit's Table III measurements.
+#[derive(Clone, Debug)]
+pub struct Table3Record {
+    /// Circuit name.
+    pub name: String,
+    /// Best cut over the plain FM runs.
+    pub plain_best: usize,
+    /// Mean cut over the plain FM runs.
+    pub plain_avg: f64,
+    /// Best cut with functional replication.
+    pub repl_best: usize,
+    /// Mean cut with functional replication.
+    pub repl_avg: f64,
+    /// Mean replicated-cell count with functional replication.
+    pub repl_cells: f64,
+    /// Wall-clock for the plain runs.
+    pub plain_secs: f64,
+    /// Wall-clock for the replication runs.
+    pub repl_secs: f64,
+}
+
+impl Table3Record {
+    /// Relative best-cut reduction.
+    pub fn best_reduction(&self) -> f64 {
+        1.0 - self.repl_best as f64 / self.plain_best.max(1) as f64
+    }
+
+    /// Relative average-cut reduction.
+    pub fn avg_reduction(&self) -> f64 {
+        1.0 - self.repl_avg / self.plain_avg.max(1.0)
+    }
+}
+
+/// Runs the Table III experiment on one circuit: `runs` equal-halves
+/// bipartitions (±10 % area, terminals relaxed) with and without
+/// functional replication at `T = 0`.
+pub fn table3_record(name: &str, hg: &Hypergraph, runs: usize) -> Table3Record {
+    let base = BipartitionConfig::equal(hg, 0.1).with_seed(1000);
+    let t0 = Instant::now();
+    let plain = run_many(hg, &base, runs);
+    let plain_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let repl = run_many(
+        hg,
+        &base.clone().with_replication(ReplicationMode::functional(0)),
+        runs,
+    );
+    let repl_secs = t0.elapsed().as_secs_f64();
+    Table3Record {
+        name: name.to_string(),
+        plain_best: plain.best_cut(),
+        plain_avg: plain.avg_cut(),
+        repl_best: repl.best_cut(),
+        repl_avg: repl.avg_cut(),
+        repl_cells: repl.avg_replicated(),
+        plain_secs,
+        repl_secs,
+    }
+}
+
+/// Table III: best/average cut of FM min-cut vs FM + functional
+/// replication over `runs` randomized bipartitions per circuit.
+pub fn table3(suite: &[(String, Hypergraph)], runs: usize) -> (Table, Vec<Table3Record>) {
+    let mut t = Table::new(
+        format!("Table III — cutset size over {runs} runs (equal halves, T = 0)"),
+        &[
+            "Circuit", "FM best", "FM avg", "FR best", "FR avg", "Best red %", "Avg red %",
+            "Repl cells", "CPU ovh %",
+        ],
+    );
+    let mut records = Vec::new();
+    for (name, hg) in suite {
+        let r = table3_record(name, hg, runs);
+        t.row([
+            r.name.clone(),
+            r.plain_best.to_string(),
+            f1(r.plain_avg),
+            r.repl_best.to_string(),
+            f1(r.repl_avg),
+            pct(r.best_reduction()),
+            pct(r.avg_reduction()),
+            f1(r.repl_cells),
+            pct(r.repl_secs / r.plain_secs.max(1e-9) - 1.0),
+        ]);
+        records.push(r);
+    }
+    if !records.is_empty() {
+        let m = |f: &dyn Fn(&Table3Record) -> f64| {
+            records.iter().map(f).sum::<f64>() / records.len() as f64
+        };
+        t.row([
+            "Avg.".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            pct(m(&|r| r.best_reduction())),
+            pct(m(&|r| r.avg_reduction())),
+            String::new(),
+            pct(m(&|r| r.repl_secs / r.plain_secs.max(1e-9) - 1.0)),
+        ]);
+    }
+    (t, records)
+}
+
+/// One circuit × one threshold of the k-way experiment.
+#[derive(Clone, Debug)]
+pub struct KWayRecord {
+    /// Circuit name.
+    pub name: String,
+    /// Threshold `T` (`None` = no replication, the paper's "\[3\]" column).
+    pub threshold: Option<u32>,
+    /// Fraction of interior cells replicated.
+    pub replicated_frac: f64,
+    /// Total device cost (eq. 1).
+    pub cost: u64,
+    /// Average CLB utilization.
+    pub clb_util: f64,
+    /// Average IOB utilization (eq. 2).
+    pub iob_util: f64,
+    /// Devices used.
+    pub k: usize,
+    /// Wall-clock seconds for this run.
+    pub secs: f64,
+    /// Whether a feasible partition was found.
+    pub feasible: bool,
+}
+
+/// Runs the k-way cost experiment for one circuit across thresholds.
+///
+/// `thresholds` entries of `None` run without replication (the "\[3\]"
+/// baseline); `Some(t)` runs functional replication at `T = t`.
+pub fn kway_experiment(
+    name: &str,
+    hg: &Hypergraph,
+    thresholds: &[Option<u32>],
+    candidates: usize,
+    seed: u64,
+) -> Vec<KWayRecord> {
+    let logic_cells = hg.cells().iter().filter(|c| !c.is_terminal()).count();
+    thresholds
+        .iter()
+        .map(|&th| {
+            let mode = match th {
+                None => ReplicationMode::None,
+                Some(t) => ReplicationMode::functional(t),
+            };
+            let cfg = KWayConfig::new(DeviceLibrary::xc3000())
+                .with_candidates(candidates)
+                .with_seed(seed)
+                .with_max_passes(8)
+                .with_replication(mode);
+            let t0 = Instant::now();
+            let out = kway_partition(hg, &cfg);
+            let secs = t0.elapsed().as_secs_f64();
+            match out {
+                Ok(r) => KWayRecord {
+                    name: name.to_string(),
+                    threshold: th,
+                    replicated_frac: r.placement.replicated_cell_count() as f64
+                        / logic_cells.max(1) as f64,
+                    cost: r.evaluation.total_cost,
+                    clb_util: r.evaluation.avg_clb_util,
+                    iob_util: r.evaluation.avg_iob_util,
+                    k: r.devices.len(),
+                    secs,
+                    feasible: true,
+                },
+                Err(_) => KWayRecord {
+                    name: name.to_string(),
+                    threshold: th,
+                    replicated_frac: f64::NAN,
+                    cost: 0,
+                    clb_util: f64::NAN,
+                    iob_util: f64::NAN,
+                    k: 0,
+                    secs,
+                    feasible: false,
+                },
+            }
+        })
+        .collect()
+}
+
+fn fmt_or_dash(feasible: bool, s: String) -> String {
+    if feasible {
+        s
+    } else {
+        "-".into()
+    }
+}
+
+/// Tables IV–VII from one set of k-way runs per circuit: replicated-cell
+/// percentage and CPU (IV), average CLB utilization (V), total device
+/// cost (VI) and average IOB utilization (VII), each for the
+/// no-replication baseline and `T = 0, 1, 2, 3`.
+pub fn tables_4_to_7(
+    suite: &[(String, Hypergraph)],
+    candidates: usize,
+    seed: u64,
+) -> (Table, Table, Table, Table, Vec<KWayRecord>) {
+    let thresholds = [None, Some(0), Some(1), Some(2), Some(3)];
+    let mut all = Vec::new();
+    for (name, hg) in suite {
+        all.extend(kway_experiment(name, hg, &thresholds, candidates, seed));
+    }
+    let by = |name: &str, th: Option<u32>| -> &KWayRecord {
+        all.iter()
+            .find(|r| r.name == name && r.threshold == th)
+            .expect("record exists")
+    };
+
+    let mut t4 = Table::new(
+        format!("Table IV — replicated cells (%) and CPU cost ({candidates} feasible partitions)"),
+        &["Circuit", "T=0 %", "T=1 %", "T=2 %", "T=3 %", "CPU T=3 (s)", "CPU [3] (s)"],
+    );
+    let mut t5 = Table::new(
+        "Table V — average CLB utilization (%) after partitioning",
+        &["Circuit", "[3]", "T=1", "Incr.", "T=2", "Incr.", "T=3", "Incr."],
+    );
+    let mut t6 = Table::new(
+        "Table VI — total device cost after partitioning",
+        &["Circuit", "[3]", "T=1", "Red. %", "T=2", "Red. %", "T=3", "Red. %"],
+    );
+    let mut t7 = Table::new(
+        "Table VII — average IOB utilization (%) after partitioning",
+        &["Circuit", "[3]", "T=1", "Red. %", "T=2", "Red. %", "T=3", "Red. %"],
+    );
+
+    for (name, _) in suite {
+        let base = by(name, None);
+        t4.row([
+            name.clone(),
+            fmt_or_dash(by(name, Some(0)).feasible, pct(by(name, Some(0)).replicated_frac)),
+            fmt_or_dash(by(name, Some(1)).feasible, pct(by(name, Some(1)).replicated_frac)),
+            fmt_or_dash(by(name, Some(2)).feasible, pct(by(name, Some(2)).replicated_frac)),
+            fmt_or_dash(by(name, Some(3)).feasible, pct(by(name, Some(3)).replicated_frac)),
+            f1(by(name, Some(3)).secs),
+            f1(base.secs),
+        ]);
+        let mut row5 = vec![name.clone(), fmt_or_dash(base.feasible, pct(base.clb_util))];
+        let mut row6 = vec![
+            name.clone(),
+            fmt_or_dash(base.feasible, base.cost.to_string()),
+        ];
+        let mut row7 = vec![name.clone(), fmt_or_dash(base.feasible, pct(base.iob_util))];
+        for t in [1u32, 2, 3] {
+            let r = by(name, Some(t));
+            let ok = r.feasible && base.feasible;
+            row5.push(fmt_or_dash(r.feasible, pct(r.clb_util)));
+            row5.push(fmt_or_dash(ok, pct(r.clb_util - base.clb_util)));
+            row6.push(fmt_or_dash(r.feasible, r.cost.to_string()));
+            row6.push(fmt_or_dash(
+                ok,
+                pct(1.0 - r.cost as f64 / base.cost.max(1) as f64),
+            ));
+            row7.push(fmt_or_dash(r.feasible, pct(r.iob_util)));
+            row7.push(fmt_or_dash(ok, pct(1.0 - r.iob_util / base.iob_util.max(1e-9))));
+        }
+        t5.row(row5);
+        t6.row(row6);
+        t7.row(row7);
+    }
+    (t4, t5, t6, t7, all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> Vec<(String, Hypergraph)> {
+        suite(16, &["c3540", "s5378"])
+    }
+
+    #[test]
+    fn table1_lists_five_devices() {
+        let t = table1();
+        assert_eq!(t.n_rows(), 5);
+        assert!(t.to_ascii().contains("XC3090"));
+    }
+
+    #[test]
+    fn table2_covers_suite() {
+        let s = tiny_suite();
+        let t = table2(&s);
+        assert_eq!(t.n_rows(), 2);
+        assert!(t.to_csv().contains("c3540"));
+    }
+
+    #[test]
+    fn figure3_percentages_sum_to_100() {
+        let s = tiny_suite();
+        let t = figure3(&s);
+        for line in t.to_csv().lines().skip(1) {
+            let total: f64 = line
+                .split(',')
+                .skip(1)
+                .map(|v| v.parse::<f64>().unwrap())
+                .sum();
+            assert!((total - 100.0).abs() < 0.5, "row sums to {total}");
+        }
+    }
+
+    #[test]
+    fn table3_reduces_cut() {
+        let s = tiny_suite();
+        let (t, records) = table3(&s, 3);
+        assert_eq!(t.n_rows(), 3); // 2 circuits + Avg.
+        for r in &records {
+            assert!(r.repl_avg <= r.plain_avg, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn kway_records_cover_thresholds() {
+        let s = suite(16, &["s5378"]);
+        let recs = kway_experiment("s5378", &s[0].1, &[None, Some(1)], 2, 7);
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.feasible));
+        assert!(recs[0].cost > 0);
+    }
+}

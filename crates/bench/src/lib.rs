@@ -1,0 +1,16 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each `table*`/`figure3` function reproduces one exhibit of the
+//! evaluation section as a [`netpart_report::Table`]; the `tables` binary
+//! renders them to the terminal and to `results/*.csv`. The Criterion
+//! benches under `benches/` measure the runtime of the same kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    figure3, kway_experiment, suite, table1, table2, table3, tables_4_to_7, try_suite,
+    KWayRecord, Table3Record,
+};

@@ -1,0 +1,389 @@
+//! The Fiduccia–Mattheyses pass structure, extended with replication
+//! moves (paper §III-D): gain-ordered move selection, lock-after-move,
+//! rollback to the best balanced prefix, repeated passes to convergence.
+
+use crate::config::{BipartitionConfig, ReplicationMode};
+use crate::state::{CellState, EngineState};
+use netpart_hypergraph::{CellId, Hypergraph, Placement};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+
+/// The outcome of one bipartitioning run.
+#[derive(Clone, Debug)]
+pub struct BipartitionResult {
+    /// Final cut-set size (number of cut nets).
+    pub cut: usize,
+    /// Final per-side areas (replicas counted on both sides).
+    pub areas: [u64; 2],
+    /// Number of replicated cells in the final state.
+    pub replicated_cells: usize,
+    /// FM passes executed.
+    pub passes: usize,
+    /// Whether the final state satisfies both sides' area bounds.
+    pub balanced: bool,
+    /// The final placement; `None` only under
+    /// [`ReplicationMode::Traditional`] with replicas present (traditional
+    /// copies share output nets and have no [`Placement`] form).
+    pub placement: Option<Placement>,
+}
+
+/// Move priority on gain ties: prefer shrinking work (unreplication),
+/// then plain moves, then replication (which grows the design).
+const TIE_UNREPLICATE: u8 = 3;
+const TIE_MOVE: u8 = 2;
+const TIE_REPLICATE: u8 = 1;
+
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    gain: i64,
+    tie: u8,
+    cell: u32,
+    stamp: u64,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.gain, self.tie, std::cmp::Reverse(self.cell)).cmp(&(
+            other.gain,
+            other.tie,
+            std::cmp::Reverse(other.cell),
+        ))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The best move currently available for a cell, if any.
+fn best_candidate(
+    engine: &EngineState<'_>,
+    cfg: &BipartitionConfig,
+    psi: &[u32],
+    c: CellId,
+) -> Option<(i64, u8, CellState)> {
+    let cur = engine.cell_state(c);
+    let cell = engine.hypergraph().cell(c);
+    let mut best: Option<(i64, u8, CellState)> = None;
+    let consider = |gain: i64, tie: u8, st: CellState, best: &mut Option<(i64, u8, CellState)>| {
+        if best.as_ref().is_none_or(|(g, t, _)| (gain, tie) > (*g, *t)) {
+            *best = Some((gain, tie, st));
+        }
+    };
+    match cur {
+        CellState::Single { side } => {
+            let mv = CellState::Single { side: 1 - side };
+            consider(engine.peek_gain(c, mv), TIE_MOVE, mv, &mut best);
+            if !cell.is_terminal() {
+                match cfg.replication {
+                    ReplicationMode::None => {}
+                    ReplicationMode::Traditional => {
+                        let st = CellState::Traditional { orig_side: side };
+                        consider(engine.peek_gain(c, st), TIE_REPLICATE, st, &mut best);
+                    }
+                    ReplicationMode::Functional { threshold } => {
+                        let m = cell.m_outputs();
+                        if m >= 2 && psi[c.index()] >= threshold {
+                            for o in 0..m {
+                                let st = CellState::Functional {
+                                    orig_side: side,
+                                    replica_mask: 1 << o,
+                                };
+                                consider(engine.peek_gain(c, st), TIE_REPLICATE, st, &mut best);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CellState::Functional { .. } | CellState::Traditional { .. } => {
+            for side in 0..2u8 {
+                let st = CellState::Single { side };
+                consider(engine.peek_gain(c, st), TIE_UNREPLICATE, st, &mut best);
+            }
+        }
+    }
+    best
+}
+
+/// Upper-bound legality of a state change against the area limits and
+/// the replication growth budget.
+fn legal(
+    engine: &EngineState<'_>,
+    cfg: &BipartitionConfig,
+    total0: u64,
+    c: CellId,
+    new: CellState,
+) -> bool {
+    let d = engine.area_delta(c, new);
+    let a = engine.areas();
+    if !(0..2).all(|i| (a[i] as i64 + d[i]) as u64 <= cfg.max_area[i]) {
+        return false;
+    }
+    match cfg.max_growth {
+        None => true,
+        Some(g) => (a[0] + a[1]) as i64 + d[0] + d[1] <= (total0 + g) as i64,
+    }
+}
+
+struct PassOutcome {
+    improvement: i64,
+    any_balanced: bool,
+}
+
+fn run_pass(engine: &mut EngineState<'_>, cfg: &BipartitionConfig, psi: &[u32]) -> PassOutcome {
+    let hg = engine.hypergraph();
+    let total0 = hg.total_area();
+    let n = hg.n_cells();
+    let mut locked = vec![false; n];
+    let mut stamps = vec![0u64; n];
+    let mut proposed: Vec<Option<CellState>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+
+    let push = |engine: &EngineState<'_>,
+                    heap: &mut BinaryHeap<HeapEntry>,
+                    stamps: &mut [u64],
+                    proposed: &mut [Option<CellState>],
+                    c: CellId| {
+        if let Some((gain, tie, st)) = best_candidate(engine, cfg, psi, c) {
+            stamps[c.index()] += 1;
+            proposed[c.index()] = Some(st);
+            heap.push(HeapEntry {
+                gain,
+                tie,
+                cell: c.0,
+                stamp: stamps[c.index()],
+            });
+        }
+    };
+
+    for c in hg.cell_ids() {
+        push(engine, &mut heap, &mut stamps, &mut proposed, c);
+    }
+
+    let mut log: Vec<(CellId, CellState)> = Vec::new();
+    let mut cum = 0i64;
+    let mut best: Option<(i64, usize)> = cfg.balanced(engine.areas()).then_some((0, 0));
+    let mut deferred: Vec<CellId> = Vec::new();
+
+    while let Some(e) = heap.pop() {
+        let c = CellId(e.cell);
+        if locked[c.index()] || e.stamp != stamps[c.index()] {
+            continue;
+        }
+        let Some(new) = proposed[c.index()] else {
+            continue;
+        };
+        if !legal(engine, cfg, total0, c, new) {
+            // Area limits are global state; retry once they change.
+            deferred.push(c);
+            continue;
+        }
+        let prev = engine.cell_state(c);
+        let realized = engine.set_state(c, new);
+        debug_assert_eq!(realized, e.gain, "stale gain for {c:?}");
+        locked[c.index()] = true;
+        log.push((c, prev));
+        cum += realized;
+        if cfg.balanced(engine.areas()) && best.is_none_or(|(b, _)| cum > b) {
+            best = Some((cum, log.len()));
+        }
+        // Refresh every unlocked cell whose incident nets changed, plus
+        // anything deferred on area limits.
+        let mut touched: Vec<CellId> = Vec::new();
+        for net in EngineState::incident_nets(hg, c) {
+            for ep in hg.net(net).endpoints() {
+                touched.push(ep.cell);
+            }
+        }
+        touched.append(&mut deferred);
+        touched.sort_unstable();
+        touched.dedup();
+        for t in touched {
+            if !locked[t.index()] {
+                push(engine, &mut heap, &mut stamps, &mut proposed, t);
+            }
+        }
+    }
+
+    let keep = best.map_or(0, |(_, k)| k);
+    for (c, prev) in log.drain(keep..).rev() {
+        engine.set_state(c, prev);
+    }
+    PassOutcome {
+        improvement: best.map_or(0, |(g, _)| g),
+        any_balanced: best.is_some(),
+    }
+}
+
+/// A random initial assignment that fills side 0 up to the midpoint of
+/// its area window (respecting side 1's upper bound), in shuffled order.
+pub(crate) fn initial_sides(hg: &Hypergraph, cfg: &BipartitionConfig) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<CellId> = hg.cell_ids().collect();
+    order.shuffle(&mut rng);
+    let total = hg.total_area();
+    let mid0 = (cfg.min_area[0] + cfg.max_area[0]) / 2;
+    let floor0 = total.saturating_sub(cfg.max_area[1]);
+    let target0 = mid0.clamp(floor0.min(cfg.max_area[0]), cfg.max_area[0]);
+    let mut sides = vec![1u8; hg.n_cells()];
+    let mut a0 = 0u64;
+    for c in order {
+        let a = u64::from(hg.cell(c).area());
+        if a0 + a <= target0 {
+            sides[c.index()] = 0;
+            a0 += a;
+        }
+    }
+    sides
+}
+
+/// Runs FM (optionally with replication) from a random initial placement
+/// until no pass improves the cut.
+///
+/// Passes move/replicate/unreplicate one cell at a time in gain order,
+/// lock it, and finally roll back to the best *balanced* prefix; runs
+/// stop after [`BipartitionConfig::max_passes`] or the first pass without
+/// improvement.
+pub fn bipartition(hg: &Hypergraph, cfg: &BipartitionConfig) -> BipartitionResult {
+    let sides = initial_sides(hg, cfg);
+    let mut engine = EngineState::new_weighted(hg, &sides, cfg.terminal_weight);
+    let psi: Vec<u32> = hg
+        .cells()
+        .iter()
+        .map(|c| c.replication_potential() as u32)
+        .collect();
+    let mut passes = 0;
+    let mut balanced_ever = cfg.balanced(engine.areas());
+    // Phase 1 always runs plain FM to convergence; phase 2 adds the
+    // replication moves as a refinement. Replicating while the cut is
+    // still near-random commits structure prematurely and degrades the
+    // result — refining a converged min-cut is where replication pays
+    // off (every pass rolls back to its best prefix, so phase 2 can only
+    // improve on phase 1).
+    let phases: &[ReplicationMode] = if cfg.replication.replicates() {
+        &[ReplicationMode::None, cfg.replication]
+    } else {
+        &[ReplicationMode::None]
+    };
+    for &mode in phases {
+        let phase_cfg = BipartitionConfig {
+            replication: mode,
+            ..cfg.clone()
+        };
+        for _ in 0..cfg.max_passes {
+            let out = run_pass(&mut engine, &phase_cfg, &psi);
+            passes += 1;
+            let progress = out.improvement > 0 || (!balanced_ever && out.any_balanced);
+            balanced_ever |= out.any_balanced;
+            if !progress {
+                break;
+            }
+        }
+    }
+    let exportable = (0..hg.n_cells())
+        .all(|i| !matches!(engine.cell_state(CellId(i as u32)), CellState::Traditional { .. }));
+    BipartitionResult {
+        cut: engine.cut(),
+        areas: engine.areas(),
+        replicated_cells: engine.replicated_cells(),
+        passes,
+        balanced: cfg.balanced(engine.areas()),
+        placement: exportable.then(|| engine.to_placement()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_netlist::{generate, GeneratorConfig};
+    use netpart_techmap::{map, MapperConfig};
+
+    fn mapped(gates: usize, dffs: usize, seed: u64) -> netpart_hypergraph::Hypergraph {
+        let nl = generate(&GeneratorConfig::new(gates).with_dff(dffs).with_seed(seed));
+        map(&nl, &MapperConfig::xc3000())
+            .unwrap()
+            .to_hypergraph(&nl)
+    }
+
+    #[test]
+    fn fm_improves_over_random() {
+        let hg = mapped(300, 20, 1);
+        let cfg = BipartitionConfig::equal(&hg, 0.1).with_seed(3);
+        let initial = {
+            let sides = initial_sides(&hg, &cfg);
+            EngineState::new(&hg, &sides).cut()
+        };
+        let res = bipartition(&hg, &cfg);
+        assert!(res.balanced, "result must satisfy the area window");
+        assert!(
+            res.cut < initial,
+            "FM should improve the random cut ({initial} → {})",
+            res.cut
+        );
+        let p = res.placement.expect("no replication → placement exists");
+        assert_eq!(p.cut_size(&hg), res.cut);
+    }
+
+    #[test]
+    fn functional_replication_cuts_less_or_equal() {
+        let hg = mapped(400, 30, 2);
+        let base = BipartitionConfig::equal(&hg, 0.1).with_seed(5);
+        let plain = bipartition(&hg, &base);
+        let repl = bipartition(
+            &hg,
+            &base.clone().with_replication(ReplicationMode::functional(0)),
+        );
+        assert!(plain.balanced && repl.balanced);
+        assert!(
+            repl.cut <= plain.cut,
+            "replication must not hurt: {} vs {}",
+            repl.cut,
+            plain.cut
+        );
+        let p = repl.placement.expect("functional placements export");
+        p.validate(&hg).unwrap();
+        assert_eq!(p.cut_size(&hg), repl.cut);
+    }
+
+    #[test]
+    fn traditional_mode_runs_and_reports() {
+        let hg = mapped(200, 10, 7);
+        let cfg = BipartitionConfig::equal(&hg, 0.1)
+            .with_seed(1)
+            .with_replication(ReplicationMode::Traditional);
+        let res = bipartition(&hg, &cfg);
+        assert!(res.balanced);
+        if res.replicated_cells > 0 {
+            assert!(res.placement.is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let hg = mapped(250, 15, 9);
+        let cfg = BipartitionConfig::equal(&hg, 0.1)
+            .with_seed(11)
+            .with_replication(ReplicationMode::functional(1));
+        let a = bipartition(&hg, &cfg);
+        let b = bipartition(&hg, &cfg);
+        assert_eq!(a.cut, b.cut);
+        assert_eq!(a.areas, b.areas);
+        assert_eq!(a.replicated_cells, b.replicated_cells);
+    }
+
+    #[test]
+    fn respects_asymmetric_bounds() {
+        let hg = mapped(300, 0, 4);
+        let total = hg.total_area();
+        let chunk = total / 4;
+        let cfg = BipartitionConfig::bounded([0, 0], [chunk, total]).with_seed(2);
+        let res = bipartition(&hg, &cfg);
+        assert!(res.areas[0] <= chunk);
+        assert!(res.balanced);
+    }
+}

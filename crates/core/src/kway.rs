@@ -1,0 +1,505 @@
+//! Recursive, device-aware k-way partitioning: minimum total device cost
+//! (eq. 1) and minimum interconnect (eq. 2) over a heterogeneous FPGA
+//! library — the paper's second experiment, extending the framework of
+//! \[3\] with functional replication.
+//!
+//! The carver repeatedly bipartitions the remaining circuit into a chunk
+//! that is feasible on a chosen device (CLB count within `[l·c, u·c]`,
+//! terminals within `t`) and a remainder, until the remainder itself fits
+//! a device. Many randomized carves are attempted; among the feasible
+//! k-way partitions found (the paper generates 50 per run), the cheapest
+//! — tie-broken by average IOB utilization — wins.
+
+use crate::config::{BipartitionConfig, ReplicationMode};
+use crate::extract::{extract_rest, Extraction};
+use crate::fm::bipartition;
+use netpart_fpga::{evaluate, DeviceLibrary, Evaluation};
+use netpart_hypergraph::{CellCopy, CellId, Hypergraph, PartId, Placement};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the k-way partitioner.
+#[derive(Clone, Debug)]
+pub struct KWayConfig {
+    /// The device library to implement the circuit with.
+    pub library: DeviceLibrary,
+    /// Replication moves used inside each carve bipartition.
+    /// [`ReplicationMode::Traditional`] is not supported here (its copies
+    /// have no placement representation).
+    pub replication: ReplicationMode,
+    /// Stop after this many *feasible* k-way partitions (the paper uses
+    /// 50 per run).
+    pub candidates: usize,
+    /// Hard cap on carve attempts (feasible or not).
+    pub max_attempts: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// FM pass limit inside each carve bipartition.
+    pub max_passes: usize,
+    /// Run the direct multi-way refinement pass (an extension beyond the
+    /// paper: [`refine_kway`](crate::refine_kway) plus
+    /// [`unreplicate_cleanup`](crate::unreplicate_cleanup)) on the winning
+    /// partition.
+    pub refine: bool,
+}
+
+impl KWayConfig {
+    /// A configuration with the paper's defaults (50 candidate feasible
+    /// partitions) for the given library.
+    pub fn new(library: DeviceLibrary) -> Self {
+        KWayConfig {
+            library,
+            replication: ReplicationMode::None,
+            candidates: 50,
+            max_attempts: 200,
+            seed: 0,
+            max_passes: 8,
+            refine: false,
+        }
+    }
+
+    /// Sets the hard cap on carve attempts (feasible or not). Each
+    /// failed attempt costs a full recursive FM run, so this bounds the
+    /// worst-case runtime on infeasible inputs. Call *after*
+    /// [`with_candidates`](Self::with_candidates), which rescales the cap.
+    pub fn with_max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Enables the post-carve multi-way refinement extension.
+    pub fn with_refine(mut self, refine: bool) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Sets the replication mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ReplicationMode::Traditional`].
+    pub fn with_replication(mut self, mode: ReplicationMode) -> Self {
+        assert!(
+            !matches!(mode, ReplicationMode::Traditional),
+            "traditional replication is not supported in k-way partitioning"
+        );
+        self.replication = mode;
+        self
+    }
+
+    /// Sets the feasible-candidate target and scales the attempt cap to
+    /// `8×` it (at least 32), bounding the cost of infeasible inputs.
+    pub fn with_candidates(mut self, n: usize) -> Self {
+        self.candidates = n.max(1);
+        self.max_attempts = (8 * self.candidates).max(32);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the FM pass limit per carve step.
+    pub fn with_max_passes(mut self, n: usize) -> Self {
+        self.max_passes = n.max(1);
+        self
+    }
+}
+
+/// A feasible k-way partition with its devices and evaluation.
+#[derive(Clone, Debug)]
+pub struct KWayResult {
+    /// The k-part placement on the original circuit (replicated cells
+    /// have one copy per part they appear in).
+    pub placement: Placement,
+    /// Library index of the device implementing each part.
+    pub devices: Vec<usize>,
+    /// Cost/utilization evaluation (eqs. 1 and 2).
+    pub evaluation: Evaluation,
+    /// Total carve attempts made.
+    pub attempts: usize,
+    /// Feasible partitions found (≥ 1).
+    pub feasible_found: usize,
+}
+
+/// k-way partitioning failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KWayError {
+    /// No feasible partition was found within the attempt budget.
+    NoFeasiblePartition {
+        /// Attempts made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for KWayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KWayError::NoFeasiblePartition { attempts } => {
+                write!(f, "no feasible k-way partition in {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for KWayError {}
+
+/// Records the cells of part `which` (of a placement of `piece`) into
+/// the global assignment list under top-level part id `part`.
+fn record_part(
+    piece: &Extraction,
+    placement: &Placement,
+    which: PartId,
+    part: u16,
+    assignments: &mut Vec<(CellId, u32, u16)>,
+) {
+    for c in piece.hypergraph.cell_ids() {
+        if let Some((top, top_mask)) = piece.origin[c.index()] {
+            for copy in placement.copies(c) {
+                if copy.part == which {
+                    assignments.push((
+                        top,
+                        crate::extract::project_mask(top_mask, copy.outputs),
+                        part,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn kway_debug() -> bool {
+    std::env::var_os("NETPART_KWAY_DEBUG").is_some()
+}
+
+/// One carve attempt: returns the global placement and device list, or
+/// `None` if the attempt dead-ends.
+///
+/// Pieces that fit no device are split recursively, mixing two
+/// strategies: **balanced halving** (the recursive min-cut bisection of
+/// \[3\]) and **device carving** (split off a chunk sized exactly for a
+/// randomly chosen device, with the FM objective weighted to keep pads
+/// out of the chunk). Pieces that fit take their cheapest feasible
+/// device.
+fn carve_once(
+    hg: &Hypergraph,
+    cfg: &KWayConfig,
+    rng: &mut StdRng,
+) -> Option<(Placement, Vec<usize>)> {
+    // (top-level cell, top-level mask, part)
+    let mut assignments: Vec<(CellId, u32, u16)> = Vec::new();
+    let mut devices: Vec<usize> = Vec::new();
+    let mut stack: Vec<Extraction> = vec![Extraction::identity(hg)];
+
+    while let Some(piece) = stack.pop() {
+        if devices.len() + stack.len() >= netpart_hypergraph::MAX_PARTS {
+            return None;
+        }
+        let area = piece.hypergraph.total_area();
+        let single = Placement::new_uniform(&piece.hypergraph, 1, PartId(0));
+        let terminals = single.part_terminals(&piece.hypergraph, PartId(0)) as u64;
+        if let Some(dev) = cfg.library.cheapest_fitting(area, terminals) {
+            let part = devices.len() as u16;
+            let di = cfg.library.index_of(dev.name()).expect("library device");
+            record_part(&piece, &single, PartId(0), part, &mut assignments);
+            devices.push(di);
+            continue;
+        }
+        if kway_debug() {
+            eprintln!("no fit: area={area} terminals={terminals}");
+        }
+        if area < 2 {
+            if kway_debug() {
+                eprintln!("piece unsplittable: area={area} terminals={terminals}");
+            }
+            return None; // terminals alone make the piece infeasible
+        }
+
+        // Choose a split strategy for this piece.
+        let carve_device = if rng.gen_bool(0.5) {
+            // Prefer the largest device whose feasibility window fits
+            // inside the piece, randomized for candidate diversity.
+            let eligible: Vec<usize> = (0..cfg.library.len())
+                .filter(|&i| {
+                    let d = cfg.library.device(i);
+                    d.min_clbs() <= (area - 1).min(d.max_clbs())
+                })
+                .collect();
+            if eligible.is_empty() {
+                None
+            } else if rng.gen_bool(0.6) {
+                eligible.last().copied()
+            } else {
+                Some(eligible[rng.gen_range(0..eligible.len())])
+            }
+        } else {
+            None
+        };
+
+        // Retry plan: the chosen strategy twice, then balanced halving
+        // as a fallback (halving always lets the recursion proceed; an
+        // oversized piece is simply split again).
+        let plans: Vec<Option<usize>> = match carve_device {
+            Some(di) => vec![Some(di), Some(di), None, None],
+            None => vec![None, None, None],
+        };
+
+        let mut split_done = false;
+        for plan in plans {
+            let (bounds_min, bounds_max, tweight) = match plan {
+                Some(di) => {
+                    let d = cfg.library.device(di);
+                    (
+                        [d.min_clbs(), 0],
+                        [d.max_clbs().min(area - 1), area],
+                        [1i64, 0i64],
+                    )
+                }
+                None => {
+                    // Balanced halving with ±10% slack.
+                    let lo = (area as f64 / 2.0 * 0.9).floor() as u64;
+                    let hi = (area as f64 / 2.0 * 1.1).ceil() as u64;
+                    ([lo, lo], [hi.max(1), hi.max(1)], [0i64, 0i64])
+                }
+            };
+            let bcfg = BipartitionConfig::bounded(bounds_min, bounds_max)
+                .with_replication(cfg.replication)
+                .with_seed(rng.gen::<u64>())
+                .with_max_passes(cfg.max_passes)
+                .with_terminal_weight(tweight)
+                .with_max_growth(Some((area / 16).max(4)));
+            let res = bipartition(&piece.hypergraph, &bcfg);
+            if !res.balanced {
+                if kway_debug() {
+                    eprintln!(
+                        "split unbalanced: areas {:?}, want [{bounds_min:?}..{bounds_max:?}] of {area}",
+                        res.areas
+                    );
+                }
+                continue;
+            }
+            let placement = res.placement.expect("non-traditional modes export");
+            match plan {
+                Some(di) => {
+                    let tcounts = placement.part_terminal_counts(&piece.hypergraph);
+                    let dev = cfg.library.device(di);
+                    if tcounts[0] as u64 > u64::from(dev.iobs()) {
+                        if kway_debug() {
+                            eprintln!(
+                                "chunk terminals {} > {} ({})",
+                                tcounts[0],
+                                dev.iobs(),
+                                dev.name()
+                            );
+                        }
+                        continue;
+                    }
+                    let part = devices.len() as u16;
+                    record_part(&piece, &placement, PartId(0), part, &mut assignments);
+                    devices.push(di);
+                    stack.push(extract_rest(
+                        &piece.hypergraph,
+                        &placement,
+                        PartId(1),
+                        &piece.origin,
+                    ));
+                }
+                None => {
+                    stack.push(extract_rest(
+                        &piece.hypergraph,
+                        &placement,
+                        PartId(0),
+                        &piece.origin,
+                    ));
+                    stack.push(extract_rest(
+                        &piece.hypergraph,
+                        &placement,
+                        PartId(1),
+                        &piece.origin,
+                    ));
+                }
+            }
+            split_done = true;
+            break;
+        }
+        if !split_done {
+            return None;
+        }
+    }
+
+    // Stitch the global placement together.
+    let k = devices.len();
+    let mut copies: Vec<Vec<CellCopy>> = vec![Vec::new(); hg.n_cells()];
+    for (cell, mask, part) in assignments {
+        copies[cell.index()].push(CellCopy {
+            part: PartId(part),
+            outputs: mask,
+        });
+    }
+    let mut placement = Placement::new_uniform(hg, k.max(1), PartId(0));
+    for c in hg.cell_ids() {
+        let list = std::mem::take(&mut copies[c.index()]);
+        debug_assert!(!list.is_empty(), "every cell must land somewhere");
+        placement.set_copies(c, list);
+    }
+    debug_assert!(placement.validate(hg).is_ok());
+    Some((placement, devices))
+}
+
+/// Finds a minimum-cost feasible k-way partition.
+///
+/// Randomized carve attempts run until [`KWayConfig::candidates`]
+/// feasible partitions are found or [`KWayConfig::max_attempts`] is
+/// exhausted; the best by `(total cost, average IOB utilization)` is
+/// returned.
+///
+/// # Errors
+///
+/// Returns [`KWayError::NoFeasiblePartition`] if no attempt produces a
+/// feasible partition.
+pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, KWayError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut best: Option<KWayResult> = None;
+    let mut feasible = 0usize;
+    let mut attempts = 0usize;
+    while attempts < cfg.max_attempts && feasible < cfg.candidates {
+        attempts += 1;
+        let Some((placement, devices)) = carve_once(hg, cfg, &mut rng) else {
+            continue;
+        };
+        let eval = evaluate(hg, &placement, &cfg.library, &devices);
+        if !eval.feasible {
+            continue;
+        }
+        feasible += 1;
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (eval.total_cost, eval.avg_iob_util)
+                    < (b.evaluation.total_cost, b.evaluation.avg_iob_util)
+            }
+        };
+        if better {
+            best = Some(KWayResult {
+                placement,
+                devices,
+                evaluation: eval,
+                attempts,
+                feasible_found: feasible,
+            });
+        }
+    }
+    match best {
+        Some(mut b) => {
+            b.attempts = attempts;
+            b.feasible_found = feasible;
+            if cfg.refine {
+                crate::refine::unreplicate_cleanup(hg, &mut b.placement, &b.devices, &cfg.library);
+                crate::refine::refine_kway(hg, &mut b.placement, &b.devices, &cfg.library, 4);
+                b.evaluation = evaluate(hg, &b.placement, &cfg.library, &b.devices);
+            }
+            Ok(b)
+        }
+        None => Err(KWayError::NoFeasiblePartition { attempts }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_netlist::{generate, GeneratorConfig};
+    use netpart_techmap::{map, MapperConfig};
+
+    fn mapped(gates: usize, dffs: usize, seed: u64) -> Hypergraph {
+        let nl = generate(&GeneratorConfig::new(gates).with_dff(dffs).with_seed(seed));
+        map(&nl, &MapperConfig::xc3000())
+            .unwrap()
+            .to_hypergraph(&nl)
+    }
+
+    fn quick_cfg() -> KWayConfig {
+        KWayConfig::new(DeviceLibrary::xc3000())
+            .with_candidates(4)
+            .with_max_attempts(200)
+            .with_seed(1)
+            .with_max_passes(8)
+    }
+
+    #[test]
+    fn small_circuit_lands_on_one_device() {
+        let hg = mapped(120, 0, 3);
+        assert!(hg.total_area() <= 304, "fixture should fit one XC3090");
+        let res = kway_partition(&hg, &quick_cfg()).unwrap();
+        assert_eq!(res.devices.len(), 1);
+        assert!(res.evaluation.feasible);
+        res.placement.validate(&hg).unwrap();
+    }
+
+    #[test]
+    fn large_circuit_uses_multiple_devices_feasibly() {
+        let hg = mapped(2000, 100, 5);
+        let res = kway_partition(&hg, &quick_cfg()).unwrap();
+        assert!(res.devices.len() >= 2);
+        assert!(res.evaluation.feasible);
+        res.placement.validate(&hg).unwrap();
+        // Every part respects its device bounds (re-checked from scratch).
+        let lib = quick_cfg().library;
+        for pe in &res.evaluation.parts {
+            let d = lib.device(pe.device);
+            assert!(d.fits(pe.clbs, pe.terminals), "part {pe:?} infeasible");
+        }
+    }
+
+    #[test]
+    fn replication_does_not_break_feasibility() {
+        let hg = mapped(1200, 60, 7);
+        let cfg = quick_cfg().with_replication(ReplicationMode::functional(0));
+        let res = kway_partition(&hg, &cfg).unwrap();
+        assert!(res.evaluation.feasible);
+        res.placement.validate(&hg).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let hg = mapped(800, 40, 11);
+        let a = kway_partition(&hg, &quick_cfg()).unwrap();
+        let b = kway_partition(&hg, &quick_cfg()).unwrap();
+        assert_eq!(a.evaluation.total_cost, b.evaluation.total_cost);
+        assert_eq!(a.devices, b.devices);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn traditional_mode_rejected() {
+        let _ = quick_cfg().with_replication(ReplicationMode::Traditional);
+    }
+}
+#[cfg(test)]
+mod refine_flag_tests {
+    use super::*;
+    use netpart_netlist::{generate, GeneratorConfig};
+    use netpart_techmap::{map, MapperConfig};
+
+    #[test]
+    fn refine_flag_improves_or_matches_interconnect() {
+        let nl = generate(&GeneratorConfig::new(1200).with_dff(60).with_seed(13));
+        let hg = map(&nl, &MapperConfig::xc3000())
+            .unwrap()
+            .to_hypergraph(&nl);
+        let base = KWayConfig::new(DeviceLibrary::xc3000())
+            .with_candidates(2)
+            .with_seed(3)
+            .with_max_passes(8)
+            .with_replication(crate::ReplicationMode::functional(1));
+        let plain = kway_partition(&hg, &base).unwrap();
+        let refined = kway_partition(&hg, &base.clone().with_refine(true)).unwrap();
+        assert!(refined.evaluation.feasible);
+        assert!(refined.evaluation.avg_iob_util <= plain.evaluation.avg_iob_util + 1e-9);
+        assert_eq!(refined.evaluation.total_cost, plain.evaluation.total_cost);
+        refined.placement.validate(&hg).unwrap();
+    }
+}

@@ -1,0 +1,58 @@
+//! Min-cut bipartitioning with functional replication and cost-driven
+//! k-way partitioning into heterogeneous FPGAs.
+//!
+//! This crate is the primary contribution of Kužnar–Brglez–Zajc (DAC
+//! 1994), reimplemented in Rust:
+//!
+//! * [`gain`] — the paper's unified gain model (§III, eqs. 7–11) over
+//!   adjacency (`A_Xi`), cutset (`C^I`, `C^O`) and critical-net (`Q^I`,
+//!   `Q^O`) vectors;
+//! * [`bipartition`] — a Fiduccia–Mattheyses bipartitioner extended with
+//!   three move kinds: single cell move, *traditional* replication and
+//!   *functional* replication (plus unreplication), gated by the
+//!   threshold replication potential `T` (eq. 6);
+//! * [`kway`] — the recursive, device-aware k-way partitioner of the
+//!   paper's second experiment: minimize total device cost (eq. 1) and
+//!   average IOB utilization (eq. 2) over a heterogeneous library.
+//!
+//! # Examples
+//!
+//! Bipartition a small mapped circuit with functional replication:
+//!
+//! ```
+//! use netpart_core::{bipartition, BipartitionConfig, ReplicationMode};
+//! use netpart_netlist::{generate, GeneratorConfig};
+//! use netpart_techmap::{map, MapperConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = generate(&GeneratorConfig::new(200).with_seed(1));
+//! let hg = map(&nl, &MapperConfig::xc3000())?.to_hypergraph(&nl);
+//! let cfg = BipartitionConfig::equal(&hg, 0.1)
+//!     .with_replication(ReplicationMode::functional(0))
+//!     .with_seed(7);
+//! let result = bipartition(&hg, &cfg);
+//! assert!(result.balanced);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod extract;
+mod fm;
+pub mod gain;
+pub mod kway;
+mod refine;
+pub mod rent;
+mod runs;
+mod state;
+
+pub use config::{BipartitionConfig, ReplicationMode};
+pub use extract::{extract_rest, Extraction};
+pub use fm::{bipartition, BipartitionResult};
+pub use kway::{kway_partition, KWayConfig, KWayError, KWayResult};
+pub use refine::{refine_kway, unreplicate_cleanup, RefineStats};
+pub use runs::{run_many, MultiRunStats};
+pub use state::{CellState, EngineState};

@@ -1,0 +1,168 @@
+//! Rent-characteristic estimation by recursive bisection.
+//!
+//! Rent's rule relates the terminals `T` of a sub-circuit to its cell
+//! count `B`: `T ≈ t·B^p`. The exponent `p` summarizes interconnect
+//! locality — real logic sits around `p ≈ 0.5–0.75`, random graphs near
+//! `p ≈ 1`. This module measures it the standard way: recursively
+//! bisect with FM, record `(cells, terminals)` of every piece, and fit
+//! the log–log regression. DESIGN.md §5.4 claims the synthetic
+//! benchmarks have Rent-like locality; this is the instrument that
+//! checks it (see the `rent_exponent_is_sub_linear` test).
+
+use crate::config::BipartitionConfig;
+use crate::extract::{extract_rest, Extraction};
+use crate::fm::bipartition;
+use netpart_hypergraph::{Hypergraph, PartId, Placement};
+
+/// One sampled sub-circuit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RentPoint {
+    /// Interior cell area of the piece (CLBs).
+    pub cells: u64,
+    /// Terminals of the piece (pads plus crossing nets).
+    pub terminals: u64,
+}
+
+/// The fitted Rent characteristic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RentFit {
+    /// The Rent exponent `p` (log–log slope).
+    pub exponent: f64,
+    /// The Rent coefficient `t` (terminals of a single cell).
+    pub coefficient: f64,
+    /// Number of points the fit used.
+    pub points: usize,
+}
+
+/// Recursively bisects `hg` for `levels` levels and returns every
+/// intermediate piece's `(cells, terminals)` sample.
+///
+/// Pieces smaller than 8 cells are not split further; unbalanced
+/// bisections (pathological inputs) terminate their branch early.
+pub fn rent_points(hg: &Hypergraph, levels: usize, seed: u64) -> Vec<RentPoint> {
+    let mut points = Vec::new();
+    let mut frontier = vec![Extraction::identity(hg)];
+    for level in 0..=levels {
+        let mut next = Vec::new();
+        for piece in frontier {
+            let area = piece.hypergraph.total_area();
+            let single = Placement::new_uniform(&piece.hypergraph, 1, PartId(0));
+            let terminals = single.part_terminals(&piece.hypergraph, PartId(0)) as u64;
+            points.push(RentPoint {
+                cells: area,
+                terminals,
+            });
+            if level == levels || area < 8 {
+                continue;
+            }
+            let cfg = BipartitionConfig::equal(&piece.hypergraph, 0.1)
+                .with_seed(seed ^ (points.len() as u64) << 8);
+            let res = bipartition(&piece.hypergraph, &cfg);
+            if !res.balanced {
+                continue;
+            }
+            let placement = res.placement.expect("plain FM exports");
+            next.push(extract_rest(
+                &piece.hypergraph,
+                &placement,
+                PartId(0),
+                &piece.origin,
+            ));
+            next.push(extract_rest(
+                &piece.hypergraph,
+                &placement,
+                PartId(1),
+                &piece.origin,
+            ));
+        }
+        frontier = next;
+    }
+    points
+}
+
+/// Least-squares fit of `log T = log t + p·log B` over the points
+/// (pieces with zero cells or terminals are skipped).
+///
+/// Returns `None` with fewer than three usable points.
+pub fn fit_rent(points: &[RentPoint]) -> Option<RentFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.cells > 0 && p.terminals > 0)
+        .map(|p| ((p.cells as f64).ln(), (p.terminals as f64).ln()))
+        .collect();
+    if logs.len() < 3 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let (sx, sy): (f64, f64) = logs.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let sxx: f64 = logs.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|&(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let p = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - p * sx) / n;
+    Some(RentFit {
+        exponent: p,
+        coefficient: intercept.exp(),
+        points: logs.len(),
+    })
+}
+
+/// Convenience: sample and fit in one call.
+pub fn rent_exponent(hg: &Hypergraph, levels: usize, seed: u64) -> Option<RentFit> {
+    fit_rent(&rent_points(hg, levels, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_netlist::{generate, GeneratorConfig};
+    use netpart_techmap::{map, MapperConfig};
+
+    #[test]
+    fn fit_recovers_exact_power_law() {
+        let points: Vec<RentPoint> = (1..=8)
+            .map(|i| {
+                let b = 1u64 << i;
+                RentPoint {
+                    cells: b,
+                    terminals: (3.0 * (b as f64).powf(0.6)).round() as u64,
+                }
+            })
+            .collect();
+        let fit = fit_rent(&points).unwrap();
+        assert!((fit.exponent - 0.6).abs() < 0.05, "p = {}", fit.exponent);
+        assert!((fit.coefficient - 3.0).abs() < 0.6, "t = {}", fit.coefficient);
+    }
+
+    #[test]
+    fn fit_needs_enough_points() {
+        assert!(fit_rent(&[]).is_none());
+        assert!(fit_rent(&[RentPoint { cells: 4, terminals: 4 }]).is_none());
+    }
+
+    #[test]
+    fn rent_exponent_is_sub_linear() {
+        // The synthetic benchmarks must show Rent-like locality: clearly
+        // below the random-graph regime (p ≈ 1).
+        let nl = generate(
+            &GeneratorConfig::new(1200)
+                .with_dff(60)
+                .with_seed(17)
+                .with_clustering(0.7),
+        );
+        let hg = map(&nl, &MapperConfig::xc3000())
+            .unwrap()
+            .to_hypergraph(&nl);
+        let fit = rent_exponent(&hg, 4, 1).expect("enough pieces");
+        assert!(fit.points >= 10);
+        assert!(
+            fit.exponent < 0.95,
+            "expected sub-linear Rent exponent, got {}",
+            fit.exponent
+        );
+        assert!(fit.exponent > 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Multi-start harness: the paper's Table III methodology (20 randomized
+//! bipartitioning runs per circuit, reporting best and average cut).
+
+use crate::config::BipartitionConfig;
+use crate::fm::{bipartition, BipartitionResult};
+use netpart_hypergraph::Hypergraph;
+
+/// Aggregate statistics over repeated randomized runs.
+#[derive(Clone, Debug)]
+pub struct MultiRunStats {
+    /// Every run's result, in seed order.
+    pub results: Vec<BipartitionResult>,
+    /// Index of the best (lowest-cut balanced) run.
+    pub best_index: usize,
+}
+
+impl MultiRunStats {
+    /// The best run's result.
+    pub fn best(&self) -> &BipartitionResult {
+        &self.results[self.best_index]
+    }
+
+    /// The smallest cut over all balanced runs.
+    pub fn best_cut(&self) -> usize {
+        self.best().cut
+    }
+
+    /// The mean cut over all balanced runs.
+    pub fn avg_cut(&self) -> f64 {
+        let balanced: Vec<_> = self.results.iter().filter(|r| r.balanced).collect();
+        if balanced.is_empty() {
+            return f64::NAN;
+        }
+        balanced.iter().map(|r| r.cut as f64).sum::<f64>() / balanced.len() as f64
+    }
+
+    /// The mean number of replicated cells over balanced runs.
+    pub fn avg_replicated(&self) -> f64 {
+        let balanced: Vec<_> = self.results.iter().filter(|r| r.balanced).collect();
+        if balanced.is_empty() {
+            return f64::NAN;
+        }
+        balanced.iter().map(|r| r.replicated_cells as f64).sum::<f64>() / balanced.len() as f64
+    }
+}
+
+/// Runs `n` bipartitions with seeds `base.seed`, `base.seed + 1`, … and
+/// collects statistics.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or no run achieves balance (pathological bounds).
+pub fn run_many(hg: &Hypergraph, base: &BipartitionConfig, n: usize) -> MultiRunStats {
+    assert!(n > 0, "at least one run");
+    let mut results = Vec::with_capacity(n);
+    for i in 0..n {
+        let cfg = base.clone().with_seed(base.seed.wrapping_add(i as u64));
+        results.push(bipartition(hg, &cfg));
+    }
+    let best_index = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.balanced)
+        .min_by_key(|(_, r)| r.cut)
+        .map(|(i, _)| i)
+        .expect("at least one balanced run");
+    MultiRunStats {
+        results,
+        best_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicationMode;
+    use netpart_netlist::{generate, GeneratorConfig};
+    use netpart_techmap::{map, MapperConfig};
+
+    fn mapped(gates: usize, seed: u64) -> Hypergraph {
+        let nl = generate(&GeneratorConfig::new(gates).with_seed(seed).with_dff(20));
+        map(&nl, &MapperConfig::xc3000())
+            .unwrap()
+            .to_hypergraph(&nl)
+    }
+
+    #[test]
+    fn stats_aggregate_over_runs() {
+        let hg = mapped(300, 2);
+        let cfg = BipartitionConfig::equal(&hg, 0.1).with_seed(10);
+        let stats = run_many(&hg, &cfg, 5);
+        assert_eq!(stats.results.len(), 5);
+        assert!(stats.best_cut() as f64 <= stats.avg_cut());
+        assert!(stats.best().balanced);
+        assert_eq!(stats.avg_replicated(), 0.0);
+    }
+
+    #[test]
+    fn replication_beats_plain_on_average() {
+        let hg = mapped(400, 6);
+        let base = BipartitionConfig::equal(&hg, 0.1).with_seed(1);
+        let plain = run_many(&hg, &base, 5);
+        let repl = run_many(
+            &hg,
+            &base.clone().with_replication(ReplicationMode::functional(0)),
+            5,
+        );
+        assert!(
+            repl.avg_cut() <= plain.avg_cut(),
+            "functional replication should help on average: {} vs {}",
+            repl.avg_cut(),
+            plain.avg_cut()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the hypergraph primitives: bit vectors, adjacency
+//! matrices and the replication potential.
+
+use netpart_hypergraph::{AdjacencyMatrix, BitVec};
+use proptest::prelude::*;
+
+fn bits(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 1..max_len)
+}
+
+proptest! {
+    /// BitVec operations agree with a naive `Vec<bool>` model.
+    #[test]
+    fn bitvec_matches_bool_model(a in bits(200), b in bits(200)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let va = BitVec::from_bools(a);
+        let vb = BitVec::from_bools(b);
+        prop_assert_eq!(va.norm(), a.iter().filter(|&&x| x).count());
+        let and = va.and(&vb);
+        let or = va.or(&vb);
+        let not = va.complement();
+        for i in 0..n {
+            prop_assert_eq!(and.get(i), a[i] && b[i]);
+            prop_assert_eq!(or.get(i), a[i] || b[i]);
+            prop_assert_eq!(not.get(i), !a[i]);
+        }
+        prop_assert_eq!(va.intersects(&vb), a.iter().zip(b).any(|(&x, &y)| x && y));
+        prop_assert_eq!(
+            va.iter_ones().collect::<Vec<_>>(),
+            (0..n).filter(|&i| a[i]).collect::<Vec<_>>()
+        );
+        // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b.
+        prop_assert_eq!(
+            va.and(&vb).complement(),
+            va.complement().or(&vb.complement())
+        );
+    }
+
+    /// `or_assign` equals `or`.
+    #[test]
+    fn or_assign_equals_or(a in bits(100), b in bits(100)) {
+        let n = a.len().min(b.len());
+        let va = BitVec::from_bools(&a[..n]);
+        let vb = BitVec::from_bools(&b[..n]);
+        let mut acc = va.clone();
+        acc.or_assign(&vb);
+        prop_assert_eq!(acc, va.or(&vb));
+    }
+
+    /// The replication potential ψ (eq. 4) equals the naive count of
+    /// inputs controlling exactly one output, and is bounded by the
+    /// input count.
+    #[test]
+    fn psi_matches_naive_count(
+        rows in proptest::collection::vec(bits(24), 1..5),
+    ) {
+        let n = rows.iter().map(Vec::len).min().unwrap();
+        let rows: Vec<Vec<bool>> = rows.into_iter().map(|r| r[..n].to_vec()).collect();
+        let adj = AdjacencyMatrix::from_bitvec_rows(
+            n,
+            rows.iter().map(|r| BitVec::from_bools(r)).collect(),
+        );
+        let naive = if rows.len() <= 1 {
+            0
+        } else {
+            (0..n)
+                .filter(|&j| rows.iter().filter(|r| r[j]).count() == 1)
+                .count()
+        };
+        prop_assert_eq!(adj.replication_potential(), naive);
+        prop_assert!(adj.replication_potential() <= n);
+    }
+
+    /// `support_of_mask` is the union of the selected rows; global
+    /// inputs are exactly the zero columns.
+    #[test]
+    fn support_union_and_globals(
+        rows in proptest::collection::vec(bits(16), 1..4),
+        mask in any::<u32>(),
+    ) {
+        let n = rows.iter().map(Vec::len).min().unwrap();
+        let rows: Vec<Vec<bool>> = rows.into_iter().map(|r| r[..n].to_vec()).collect();
+        let m = rows.len();
+        let adj = AdjacencyMatrix::from_bitvec_rows(
+            n,
+            rows.iter().map(|r| BitVec::from_bools(r)).collect(),
+        );
+        let mask = mask & ((1u32 << m) - 1);
+        let sup = adj.support_of_mask(mask);
+        for j in 0..n {
+            let want = (0..m).any(|o| mask & (1 << o) != 0 && rows[o][j]);
+            prop_assert_eq!(sup.get(j), want);
+            prop_assert_eq!(adj.is_global_input(j), rows.iter().all(|r| !r[j]));
+        }
+    }
+}

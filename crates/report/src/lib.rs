@@ -1,0 +1,205 @@
+//! Experiment records and table rendering.
+//!
+//! The benchmark harness regenerates the paper's tables as [`Table`]
+//! values and renders them as aligned ASCII (for the terminal) and CSV
+//! (for archival under `results/`).
+//!
+//! # Examples
+//!
+//! ```
+//! use netpart_report::Table;
+//!
+//! let mut t = Table::new("Demo", &["circuit", "cut"]);
+//! t.row(["c3540".into(), "104".into()]);
+//! let text = t.to_ascii();
+//! assert!(text.contains("c3540"));
+//! assert_eq!(t.to_csv().lines().count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+mod stats;
+
+pub use stats::{mean, Summary};
+
+/// A titled table with a header row and data rows.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row<I>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned, monospaced text.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:>width$} ", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first; quotes only when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(esc)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii())
+    }
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_alignment() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.row(["a".into(), "1".into()]);
+        t.row(["longer".into(), "22".into()]);
+        let s = t.to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].contains("name"));
+        // All data lines have equal width.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(["x,y".into(), "q\"q".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"q\"\"q\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.256), "1.26");
+        assert_eq!(pct(0.345), "34.5");
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(["1".into()]);
+        assert_eq!(t.to_string(), t.to_ascii());
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.title(), "T");
+    }
+}

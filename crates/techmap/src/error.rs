@@ -1,0 +1,49 @@
+//! Technology-mapping errors.
+
+use netpart_netlist::GateId;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while technology-mapping a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// A combinational gate has more inputs than a LUT can cover; run
+    /// [`decompose_wide_gates`](crate::decompose_wide_gates) first.
+    FaninTooLarge {
+        /// The offending gate.
+        gate: GateId,
+        /// Its fan-in.
+        fanin: usize,
+        /// The LUT input limit.
+        limit: usize,
+    },
+    /// The netlist failed validation before mapping.
+    InvalidNetlist(netpart_netlist::NetlistError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::FaninTooLarge { gate, fanin, limit } => write!(
+                f,
+                "gate {gate:?} has fan-in {fanin} exceeding the {limit}-input LUT limit"
+            ),
+            MapError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::InvalidNetlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<netpart_netlist::NetlistError> for MapError {
+    fn from(e: netpart_netlist::NetlistError) -> Self {
+        MapError::InvalidNetlist(e)
+    }
+}

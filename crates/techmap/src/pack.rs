@@ -1,0 +1,242 @@
+//! Greedy packing of LUT/register units into multi-output CLBs.
+
+use crate::mapped::{Clb, Mapped, Unit};
+use netpart_netlist::{Netlist, SignalId};
+use std::collections::HashMap;
+
+/// SplitMix64: cheap deterministic per-unit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Pairs units into CLBs, preferring partners that share input signals
+/// (maximising shared inputs minimises the CLB's distinct-input count and
+/// produces the spread of replication potentials seen in the paper's
+/// Fig. 3).
+///
+/// Constraints per CLB: at most `max_outputs` units, `max_inputs` distinct
+/// input signals, `max_dffs` flip-flops and one externally-fed (DIN)
+/// register.
+pub(crate) fn pack_units(mapped: &Mapped, nl: &Netlist, units: Vec<Unit>) -> Vec<Clb> {
+    let cfg = *mapped.config();
+    let supports: Vec<Vec<SignalId>> = units
+        .iter()
+        .map(|u| mapped.unit_support(nl, u))
+        .collect();
+    let dffs: Vec<usize> = units.iter().map(|u| mapped.unit_dffs(u)).collect();
+    let ext: Vec<bool> = units
+        .iter()
+        .map(|u| matches!(u, Unit::ExtReg { .. }))
+        .collect();
+
+    // signal -> units reading it.
+    let mut readers: HashMap<SignalId, Vec<usize>> = HashMap::new();
+    for (i, sup) in supports.iter().enumerate() {
+        for &s in sup {
+            readers.entry(s).or_default().push(i);
+        }
+    }
+
+    let merged_ok = |a: usize, b: usize| -> Option<usize> {
+        if dffs[a] + dffs[b] > cfg.max_dffs {
+            return None;
+        }
+        if ext[a] && ext[b] {
+            return None; // only one DIN pin per CLB
+        }
+        let mut m = supports[a].clone();
+        m.extend(supports[b].iter().copied());
+        m.sort_unstable();
+        m.dedup();
+        (m.len() <= cfg.max_inputs).then_some(m.len())
+    };
+
+    let n = units.len();
+    let mut partner: Vec<Option<usize>> = vec![None; n];
+    for i in 0..n {
+        if partner[i].is_some() {
+            continue;
+        }
+        // Candidates sharing a signal, scored by (shared inputs, -merged size).
+        let mut best: Option<(usize, usize, usize)> = None; // (shared, neg?, j)
+        let consider = |j: usize, best: &mut Option<(usize, usize, usize)>| {
+            if j == i || partner[j].is_some() {
+                return;
+            }
+            let Some(merged) = merged_ok(i, j) else {
+                return;
+            };
+            let shared = supports[i].len() + supports[j].len() - merged;
+            let key = (shared, cfg.max_inputs - merged, j);
+            let better = match best {
+                None => true,
+                Some((s, f, bj)) => {
+                    (shared, cfg.max_inputs - merged) > (*s, *f)
+                        || ((shared, cfg.max_inputs - merged) == (*s, *f) && j < *bj)
+                }
+            };
+            if better {
+                *best = Some(key);
+            }
+        };
+        // Density-driven vs affinity-driven pairing. Real era mappers
+        // (XACT) packed for density, oblivious to any future partition;
+        // `pack_affinity` is the probability a unit instead seeks a
+        // partner sharing its inputs. The density-packed remainder is
+        // precisely what functional replication un-packs across the cut.
+        let h = splitmix64(cfg.pack_seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let density_driven = (h % 1_000_000) as f64 / 1_000_000.0 >= cfg.pack_affinity;
+        if density_driven {
+            // Scan a bounded neighbourhood starting at a pseudo-random
+            // offset, ignoring input sharing.
+            let w = cfg.pack_window.min(n.saturating_sub(1)).max(1);
+            let lo = i.saturating_sub(w);
+            let hi = (i + w).min(n - 1);
+            let span = hi - lo + 1;
+            let start = lo + (h >> 20) as usize % span;
+            for off in 0..span {
+                let j = lo + (start - lo + off) % span;
+                if j != i && partner[j].is_none() && merged_ok(i, j).is_some() {
+                    best = Some((0, 0, j));
+                    break;
+                }
+            }
+        } else {
+            for &s in &supports[i] {
+                if let Some(list) = readers.get(&s) {
+                    for &j in list {
+                        consider(j, &mut best);
+                    }
+                }
+            }
+        }
+        if best.is_none() {
+            // Fall back to a bounded forward scan so units without shared
+            // signals still pair when their supports fit together.
+            for j in (i + 1)..n.min(i + 64) {
+                consider(j, &mut best);
+                if best.is_some() {
+                    break;
+                }
+            }
+        }
+        if let Some((_, _, j)) = best {
+            partner[i] = Some(j);
+            partner[j] = Some(i);
+        }
+    }
+
+    let mut clbs = Vec::with_capacity(n.div_ceil(2));
+    let mut placed = vec![false; n];
+    let mut units: Vec<Option<Unit>> = units.into_iter().map(Some).collect();
+    for i in 0..n {
+        if placed[i] {
+            continue;
+        }
+        placed[i] = true;
+        let mut members = vec![units[i].take().expect("unit unplaced")];
+        if let Some(j) = partner[i] {
+            if !placed[j] {
+                placed[j] = true;
+                members.push(units[j].take().expect("partner unplaced"));
+            }
+        }
+        clbs.push(Clb { units: members });
+    }
+    clbs
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mapped::{map, MapperConfig, Unit};
+    use netpart_netlist::{generate, GeneratorConfig};
+
+    #[test]
+    fn most_units_get_paired() {
+        let nl = generate(&GeneratorConfig::new(600).with_seed(21).with_dff(30));
+        let m = map(&nl, &MapperConfig::xc3000()).unwrap();
+        let paired = m.clbs.iter().filter(|c| c.units.len() == 2).count();
+        assert!(
+            paired * 2 > m.clbs.len(),
+            "expected most CLBs to hold two units ({paired}/{})",
+            m.clbs.len()
+        );
+    }
+
+    #[test]
+    fn din_constraint_enforced() {
+        // A circuit dominated by external registers (DFFs chained off
+        // multi-use signals) must still respect the single-DIN rule.
+        let nl = generate(&GeneratorConfig::new(150).with_seed(8).with_dff(80));
+        let m = map(&nl, &MapperConfig::xc3000()).unwrap();
+        for clb in &m.clbs {
+            let ext = clb
+                .units
+                .iter()
+                .filter(|u| matches!(u, Unit::ExtReg { .. }))
+                .count();
+            assert!(ext <= 1);
+        }
+    }
+
+    #[test]
+    fn packing_is_deterministic() {
+        let nl = generate(&GeneratorConfig::new(400).with_seed(5).with_dff(20));
+        let a = map(&nl, &MapperConfig::xc3000()).unwrap();
+        let b = map(&nl, &MapperConfig::xc3000()).unwrap();
+        assert_eq!(a.clbs, b.clbs);
+    }
+}
+
+#[cfg(test)]
+mod affinity_tests {
+    use crate::mapped::{map, MapperConfig};
+    use netpart_netlist::{generate, GeneratorConfig};
+
+    /// Density-driven packing pairs unrelated LUTs, which raises the mean
+    /// replication potential ψ (more exclusive inputs per output) — the
+    /// effect DESIGN.md §5.5 relies on.
+    #[test]
+    fn density_packing_raises_replication_potential() {
+        let nl = generate(&GeneratorConfig::new(600).with_seed(31).with_dff(30));
+        let mean_psi = |affinity: f64| -> f64 {
+            let cfg = MapperConfig::xc3000().with_pack_affinity(affinity);
+            let hg = map(&nl, &cfg).unwrap().to_hypergraph(&nl);
+            let dist = hg.replication_potential_distribution();
+            let total: usize = dist.iter().sum();
+            dist.iter()
+                .enumerate()
+                .map(|(psi, &n)| psi as f64 * n as f64)
+                .sum::<f64>()
+                / total as f64
+        };
+        let affine = mean_psi(1.0);
+        let dense = mean_psi(0.0);
+        assert!(
+            dense > affine,
+            "density packing should raise mean ψ: {dense:.2} vs {affine:.2}"
+        );
+    }
+
+    /// The affinity knob does not change what is computed — only how
+    /// units pair — so CLB count changes little and DFF coverage is
+    /// identical.
+    #[test]
+    fn affinity_preserves_coverage() {
+        let nl = generate(&GeneratorConfig::new(400).with_seed(8).with_dff(25));
+        for affinity in [0.0, 0.5, 1.0] {
+            let cfg = MapperConfig::xc3000().with_pack_affinity(affinity);
+            let m = map(&nl, &cfg).unwrap();
+            let hg = m.to_hypergraph(&nl);
+            assert_eq!(hg.stats().dffs as usize, nl.n_dffs());
+            assert_eq!(
+                hg.stats().iobs as usize,
+                nl.primary_inputs().len() + nl.primary_outputs().len()
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Explore the XC3000 device library and its feasibility windows.
+//!
+//! Run with `cargo run --example device_explorer [clbs] [iobs]` to see
+//! which devices a partition of the given size fits (defaults: 120 CLBs,
+//! 60 IOBs).
+
+use netpart::prelude::*;
+use netpart::report::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let clbs: u64 = args.next().map(|v| v.parse()).transpose()?.unwrap_or(120);
+    let iobs: u64 = args.next().map(|v| v.parse()).transpose()?.unwrap_or(60);
+
+    let lib = DeviceLibrary::xc3000();
+    let mut t = Table::new(
+        "XC3000 library (paper Table I)",
+        &["Device", "CLBs", "IOBs", "Price", "Feasible window", "Fits?"],
+    );
+    for d in &lib {
+        t.row([
+            d.name().to_string(),
+            d.clbs().to_string(),
+            d.iobs().to_string(),
+            d.price().to_string(),
+            format!("{}..{}", d.min_clbs(), d.max_clbs()),
+            if d.fits(clbs, iobs) { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{t}");
+
+    println!("query: {clbs} CLBs, {iobs} IOBs");
+    match lib.cheapest_fitting(clbs, iobs) {
+        Some(d) => println!(
+            "cheapest feasible device: {} (price {}, CLB util {:.0}%, IOB util {:.0}%)",
+            d.name(),
+            d.price(),
+            100.0 * d.clb_utilization(clbs),
+            100.0 * d.iob_utilization(iobs)
+        ),
+        None => println!("no single device fits — partitioning required"),
+    }
+    println!(
+        "optimistic cost lower bound for {clbs} CLBs: {:.0}",
+        lib.cost_lower_bound(clbs)
+    );
+    Ok(())
+}

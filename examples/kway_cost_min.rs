@@ -1,0 +1,85 @@
+//! The paper's second experiment on one benchmark: k-way partitioning
+//! into the heterogeneous XC3000 library, minimizing total device cost
+//! (eq. 1) and interconnect (eq. 2), with and without functional
+//! replication.
+//!
+//! Run with
+//! `cargo run --release --example kway_cost_min [circuit] [candidates]`
+//! (default `s5378:scaled`, 6 candidates; drop `:scaled` for full size).
+
+use netpart::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let circuit = args.next().unwrap_or_else(|| "s5378:scaled".into());
+    let candidates: usize = args.next().map(|r| r.parse()).transpose()?.unwrap_or(6);
+
+    let (name, scaled) = match circuit.strip_suffix(":scaled") {
+        Some(base) => (base.to_string(), true),
+        None => (circuit, false),
+    };
+    let nl = if scaled {
+        bench_suite::build_scaled(&name, 4)
+    } else {
+        bench_suite::build(&name)
+    }
+    .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+    let hg = map(&nl, &MapperConfig::xc3000())?.to_hypergraph(&nl);
+    let s = hg.stats();
+    println!(
+        "{name}{}: {} CLBs, {} IOBs\n",
+        if scaled { " (scaled)" } else { "" },
+        s.clbs,
+        s.iobs
+    );
+
+    let library = DeviceLibrary::xc3000();
+    for (label, mode) in [
+        ("without replication ([3] baseline)", ReplicationMode::None),
+        ("functional replication, T = 1", ReplicationMode::functional(1)),
+    ] {
+        let cfg = KWayConfig::new(library.clone())
+            .with_candidates(candidates)
+            .with_seed(99)
+            .with_max_passes(8)
+            .with_replication(mode);
+        print!("{label}: ");
+        match kway_partition(&hg, &cfg) {
+            Ok(r) => {
+                let hist = r.evaluation.device_histogram(library.len());
+                let devices: Vec<String> = hist
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(i, &n)| format!("{}×{}", n, library.device(i).name()))
+                    .collect();
+                println!(
+                    "k = {}, cost = {}, devices = [{}]",
+                    r.devices.len(),
+                    r.evaluation.total_cost,
+                    devices.join(", ")
+                );
+                println!(
+                    "  avg CLB utilization {:.0}%, avg IOB utilization {:.0}%, {} cells replicated",
+                    100.0 * r.evaluation.avg_clb_util,
+                    100.0 * r.evaluation.avg_iob_util,
+                    r.placement.replicated_cell_count()
+                );
+                for part in &r.evaluation.parts {
+                    println!(
+                        "    part {}: {:8} {:4} CLBs ({:3.0}%), {:3} IOBs ({:3.0}%)",
+                        part.part,
+                        library.device(part.device).name(),
+                        part.clbs,
+                        100.0 * part.clb_util,
+                        part.terminals,
+                        100.0 * part.iob_util
+                    );
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: synthesize a circuit, map it to XC3000 CLBs, bipartition
+//! it with functional replication, and evaluate the result.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use netpart::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic 500-gate sequential circuit (see `bench_suite` for
+    //    the paper's nine benchmarks).
+    let nl = generate(
+        &GeneratorConfig::new(500)
+            .with_dff(32)
+            .with_clustering(0.7)
+            .with_seed(42),
+    );
+    println!(
+        "netlist: {} gates, {} PIs, {} POs, {} DFFs",
+        nl.n_gates(),
+        nl.primary_inputs().len(),
+        nl.primary_outputs().len(),
+        nl.n_dffs()
+    );
+
+    // 2. Technology-map into 5-input, 2-output CLBs.
+    let mapped = map(&nl, &MapperConfig::xc3000())?;
+    let hg = mapped.to_hypergraph(&nl);
+    let stats = hg.stats();
+    println!(
+        "mapped: {} CLBs, {} IOBs, {} nets, {} pins",
+        stats.clbs, stats.iobs, stats.nets, stats.pins
+    );
+
+    // 3. Bipartition into two equal halves — first plain FM, then with
+    //    the paper's functional replication (threshold T = 0).
+    let base = BipartitionConfig::equal(&hg, 0.1).with_seed(1);
+    let plain = bipartition(&hg, &base);
+    let repl = bipartition(
+        &hg,
+        &base.clone().with_replication(ReplicationMode::functional(0)),
+    );
+    println!("plain FM min-cut: {} nets", plain.cut);
+    println!(
+        "with functional replication: {} nets ({} cells replicated, {:.1}% cut reduction)",
+        repl.cut,
+        repl.replicated_cells,
+        100.0 * (1.0 - repl.cut as f64 / plain.cut.max(1) as f64)
+    );
+
+    // 4. Evaluate each half on the cheapest feasible XC3000 device.
+    let placement = repl.placement.expect("functional mode exports a placement");
+    let library = DeviceLibrary::xc3000();
+    match assign_devices(&hg, &placement, &library) {
+        Some(eval) => {
+            for part in &eval.parts {
+                let dev = library.device(part.device);
+                println!(
+                    "part {}: {} ({} CLBs @ {:.0}% util, {} IOBs @ {:.0}% util)",
+                    part.part,
+                    dev.name(),
+                    part.clbs,
+                    100.0 * part.clb_util,
+                    part.terminals,
+                    100.0 * part.iob_util
+                );
+            }
+            println!(
+                "total device cost: {} (avg IOB utilization {:.0}%)",
+                eval.total_cost,
+                100.0 * eval.avg_iob_util
+            );
+        }
+        None => println!("halves exceed the largest device — use the k-way partitioner"),
+    }
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! Command-line front end: map a BLIF netlist into XC3000 CLBs and
+//! partition it.
+//!
+//! ```text
+//! netpart stats       <file.blif>
+//! netpart bipartition <file.blif> [--replication none|traditional|functional]
+//!                     [--threshold T] [--runs N] [--epsilon E] [--seed S]
+//! netpart kway        <file.blif> [--replication none|functional] [--threshold T]
+//!                     [--candidates N] [--seed S] [--refine] [--assign out.csv]
+//! ```
+//!
+//! Generated circuits can be exported for experimentation with
+//! `netpart synth <gates> [out.blif]`.
+
+use netpart::core::{refine_kway, unreplicate_cleanup};
+use netpart::prelude::*;
+use std::error::Error;
+use std::fmt::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--seed S] [--refine] [--assign out.csv]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+struct Flags {
+    replication: String,
+    threshold: u32,
+    runs: usize,
+    epsilon: f64,
+    seed: u64,
+    candidates: usize,
+    refine: bool,
+    assign: Option<String>,
+    dff: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
+    let mut f = Flags {
+        replication: "functional".into(),
+        threshold: 0,
+        runs: 10,
+        epsilon: 0.1,
+        seed: 1,
+        candidates: 10,
+        refine: false,
+        assign: None,
+        dff: 0,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || -> Result<&String, Box<dyn Error>> {
+            it.next().ok_or_else(|| format!("{a} needs a value").into())
+        };
+        match a.as_str() {
+            "--replication" => f.replication = val()?.clone(),
+            "--threshold" => f.threshold = val()?.parse()?,
+            "--runs" => f.runs = val()?.parse()?,
+            "--epsilon" => f.epsilon = val()?.parse()?,
+            "--seed" => f.seed = val()?.parse()?,
+            "--candidates" => f.candidates = val()?.parse()?,
+            "--dff" => f.dff = val()?.parse()?,
+            "--refine" => f.refine = true,
+            "--assign" => f.assign = Some(val()?.clone()),
+            _ => return Err(format!("unknown flag {a}").into()),
+        }
+    }
+    Ok(f)
+}
+
+fn load(path: &str) -> Result<(Netlist, Hypergraph), Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let nl = parse_blif(&text)?;
+    nl.validate()?;
+    // Decompose anything wider than a 5-input LUT before mapping.
+    let nl = decompose_wide_gates(&nl, 5);
+    let hg = map(&nl, &MapperConfig::xc3000())?.to_hypergraph(&nl);
+    Ok((nl, hg))
+}
+
+fn mode_of(f: &Flags) -> Result<ReplicationMode, Box<dyn Error>> {
+    Ok(match f.replication.as_str() {
+        "none" => ReplicationMode::None,
+        "traditional" => ReplicationMode::Traditional,
+        "functional" => ReplicationMode::functional(f.threshold),
+        other => return Err(format!("unknown replication mode {other:?}").into()),
+    })
+}
+
+fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
+    let (nl, hg) = load(path)?;
+    let s = hg.stats();
+    println!("model {}", nl.name());
+    println!(
+        "gates {} (dff {}), PIs {}, POs {}",
+        nl.n_gates(),
+        nl.n_dffs(),
+        nl.primary_inputs().len(),
+        nl.primary_outputs().len()
+    );
+    println!(
+        "mapped: {} CLBs, {} IOBs, {} nets, {} pins",
+        s.clbs, s.iobs, s.nets, s.pins
+    );
+    let dist = hg.replication_potential_distribution();
+    let total: usize = dist.iter().sum();
+    print!("replication potential ψ distribution:");
+    for (psi, n) in dist.iter().enumerate() {
+        if *n > 0 {
+            print!(" ψ={psi}:{:.1}%", 100.0 * *n as f64 / total as f64);
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
+    if !(0.0..=1.0).contains(&f.epsilon) {
+        return Err(format!("--epsilon must be within [0, 1], got {}", f.epsilon).into());
+    }
+    let (_, hg) = load(path)?;
+    let cfg = BipartitionConfig::equal(&hg, f.epsilon)
+        .with_seed(f.seed)
+        .with_replication(mode_of(f)?);
+    let stats = run_many(&hg, &cfg, f.runs.max(1));
+    println!(
+        "{} runs: best cut {}, avg cut {:.1}, avg replicated cells {:.1}",
+        f.runs,
+        stats.best_cut(),
+        stats.avg_cut(),
+        stats.avg_replicated()
+    );
+    let best = stats.best();
+    println!(
+        "best run: areas {:?}, {} passes, balanced: {}",
+        best.areas, best.passes, best.balanced
+    );
+    Ok(())
+}
+
+fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
+    let (_, hg) = load(path)?;
+    let lib = DeviceLibrary::xc3000();
+    let cfg = KWayConfig::new(lib.clone())
+        .with_candidates(f.candidates)
+        .with_seed(f.seed)
+        .with_max_passes(8)
+        .with_replication(match mode_of(f)? {
+            ReplicationMode::Traditional => {
+                return Err("k-way does not support traditional replication".into())
+            }
+            m => m,
+        });
+    let mut res = kway_partition(&hg, &cfg)?;
+    if f.refine {
+        let n = unreplicate_cleanup(&hg, &mut res.placement, &res.devices, &lib);
+        let st = refine_kway(&hg, &mut res.placement, &res.devices, &lib, 4);
+        println!(
+            "refinement: {} moves, {} unreplications, Σt {} → {}",
+            st.moves, n, st.terminals_before, st.terminals_after
+        );
+        res.evaluation = evaluate(&hg, &res.placement, &lib, &res.devices);
+    }
+    println!(
+        "k = {}, total cost = {}, avg CLB util {:.0}%, avg IOB util {:.0}%",
+        res.devices.len(),
+        res.evaluation.total_cost,
+        100.0 * res.evaluation.avg_clb_util,
+        100.0 * res.evaluation.avg_iob_util
+    );
+    for part in &res.evaluation.parts {
+        println!(
+            "  part {}: {:8} {:5} CLBs ({:3.0}%), {:4} IOBs ({:3.0}%)",
+            part.part,
+            lib.device(part.device).name(),
+            part.clbs,
+            100.0 * part.clb_util,
+            part.terminals,
+            100.0 * part.iob_util
+        );
+    }
+    if let Some(out) = &f.assign {
+        let mut csv = String::from("cell,part,outputs_mask\n");
+        for c in hg.cell_ids() {
+            for copy in res.placement.copies(c) {
+                let _ = writeln!(
+                    csv,
+                    "{},{},{:#b}",
+                    hg.cell(c).name(),
+                    copy.part.0,
+                    copy.outputs
+                );
+            }
+        }
+        std::fs::write(out, csv)?;
+        println!("assignment written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_synth(gates: &str, out: Option<&String>, f: &Flags) -> Result<(), Box<dyn Error>> {
+    let gates: usize = gates.parse()?;
+    let nl = generate(
+        &GeneratorConfig::new(gates)
+            .with_dff(f.dff)
+            .with_seed(f.seed),
+    );
+    let text = write_blif(&nl);
+    match out {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    // `synth` takes an optional positional output path before the flags.
+    let synth_out = (args[0] == "synth" && args.len() >= 3 && !args[2].starts_with('-'))
+        .then(|| args[2].clone());
+    let flag_start = if synth_out.is_some() { 3 } else { 2 };
+    let flags = match parse_flags(&args[flag_start..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
+    };
+    let result = match args[0].as_str() {
+        "stats" => cmd_stats(&args[1]),
+        "bipartition" => cmd_bipartition(&args[1], &flags),
+        "kway" => cmd_kway(&args[1], &flags),
+        "synth" => cmd_synth(&args[1], synth_out.as_ref(), &flags),
+        _ => {
+            usage();
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

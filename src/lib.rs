@@ -1,0 +1,67 @@
+//! `netpart` — multi-way netlist partitioning into heterogeneous FPGAs
+//! with functional replication.
+//!
+//! A Rust reproduction of Kužnar–Brglez–Zajc, *"Multi-way Netlist
+//! Partitioning into Heterogeneous FPGAs and Minimization of Total Device
+//! Cost and Interconnect"* (DAC 1994). This facade crate re-exports the
+//! workspace libraries:
+//!
+//! * [`hypergraph`] — pin-level circuit hypergraph, adjacency matrices,
+//!   replication-aware placements;
+//! * [`netlist`] — gate-level netlists, BLIF-subset I/O, synthetic
+//!   benchmark generation;
+//! * [`techmap`] — XC3000-style technology mapping (5-input LUT cones,
+//!   2-output CLB packing);
+//! * [`fpga`] — the heterogeneous device library and the paper's cost
+//!   (eq. 1) and interconnect (eq. 2) objectives;
+//! * [`core`] — FM bipartitioning with functional replication and the
+//!   cost-driven k-way partitioner;
+//! * [`report`] — experiment tables.
+//!
+//! # Examples
+//!
+//! Partition a synthetic circuit into two halves with functional
+//! replication and evaluate it on the XC3000 library:
+//!
+//! ```
+//! use netpart::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = generate(&GeneratorConfig::new(300).with_seed(7));
+//! let hg = map(&nl, &MapperConfig::xc3000())?.to_hypergraph(&nl);
+//!
+//! let cfg = BipartitionConfig::equal(&hg, 0.1)
+//!     .with_replication(ReplicationMode::functional(0));
+//! let result = bipartition(&hg, &cfg);
+//! assert!(result.balanced);
+//!
+//! let placement = result.placement.expect("functional mode exports");
+//! assert_eq!(placement.cut_size(&hg), result.cut);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use netpart_core as core;
+pub use netpart_fpga as fpga;
+pub use netpart_hypergraph as hypergraph;
+pub use netpart_netlist as netlist;
+pub use netpart_report as report;
+pub use netpart_techmap as techmap;
+
+/// The most common items, importable in one line.
+pub mod prelude {
+    pub use netpart_core::{
+        bipartition, kway_partition, run_many, BipartitionConfig, KWayConfig, ReplicationMode,
+    };
+    pub use netpart_fpga::{assign_devices, evaluate, Device, DeviceLibrary};
+    pub use netpart_hypergraph::{
+        AdjacencyMatrix, CellId, CellKind, Hypergraph, HypergraphBuilder, NetId, PartId, Placement,
+    };
+    pub use netpart_netlist::{
+        bench_suite, generate, parse_blif, write_blif, GateKind, GeneratorConfig, Netlist,
+    };
+    pub use netpart_techmap::{decompose_wide_gates, map, MapperConfig};
+}

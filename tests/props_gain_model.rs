@@ -1,0 +1,147 @@
+//! Property tests: the paper's closed-form gain model (§III, eqs. 7–11)
+//! must agree exactly with the engine's cut-delta computation, on random
+//! mapped circuits and random placements.
+
+use netpart::core::gain::{
+    best_functional_gain, extract_vectors, functional_gain, single_move_gain, traditional_gain,
+};
+use netpart::core::{CellState, EngineState};
+use netpart::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random mapped circuit and a random bipartition side vector.
+fn mapped_with_sides(
+    gates: usize,
+    dffs: usize,
+    seed: u64,
+    side_seed: u64,
+) -> (Hypergraph, Vec<u8>) {
+    let nl = generate(
+        &GeneratorConfig::new(gates)
+            .with_dff(dffs)
+            .with_seed(seed)
+            .with_clustering(0.6),
+    );
+    let hg = map(&nl, &MapperConfig::xc3000())
+        .expect("generated netlists map")
+        .to_hypergraph(&nl);
+    // xorshift-style deterministic sides from side_seed
+    let mut x = side_seed | 1;
+    let sides = (0..hg.n_cells())
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 1) as u8
+        })
+        .collect();
+    (hg, sides)
+}
+
+/// True iff every pin of the cell is on a distinct net (the vector
+/// model's implicit assumption).
+fn distinct_nets(hg: &Hypergraph, c: CellId) -> bool {
+    let cell = hg.cell(c);
+    let mut nets: Vec<NetId> = cell.incident_nets().collect();
+    nets.sort_unstable();
+    nets.windows(2).all(|w| w[0] != w[1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eq. 7 (single move) equals the engine's exact delta for every cell.
+    #[test]
+    fn eq7_matches_engine(seed in 0u64..1000, side_seed in 1u64..1000) {
+        let (hg, sides) = mapped_with_sides(120, 8, seed, side_seed);
+        let engine = EngineState::new(&hg, &sides);
+        for c in hg.cell_ids() {
+            if !distinct_nets(&hg, c) {
+                continue;
+            }
+            let v = extract_vectors(&engine, c).expect("single cells have vectors");
+            let side = sides[c.0 as usize];
+            let formula = single_move_gain(&v);
+            let exact = engine.peek_gain(c, CellState::Single { side: 1 - side });
+            prop_assert_eq!(formula, exact, "cell {:?}", c);
+        }
+    }
+
+    /// Eq. 8 (traditional replication) equals the engine's exact delta.
+    #[test]
+    fn eq8_matches_engine(seed in 0u64..1000, side_seed in 1u64..1000) {
+        let (hg, sides) = mapped_with_sides(120, 8, seed, side_seed);
+        let engine = EngineState::new(&hg, &sides);
+        for c in hg.cell_ids() {
+            if hg.cell(c).is_terminal() || !distinct_nets(&hg, c) {
+                continue;
+            }
+            let v = extract_vectors(&engine, c).expect("single cells have vectors");
+            let side = sides[c.0 as usize];
+            let formula = traditional_gain(&v);
+            let exact = engine.peek_gain(c, CellState::Traditional { orig_side: side });
+            prop_assert_eq!(formula, exact, "cell {:?}", c);
+        }
+    }
+
+    /// Eqs. 9–11 (functional replication) equal the engine's exact delta
+    /// for every replica-output choice.
+    #[test]
+    fn eq9_to_11_match_engine(seed in 0u64..1000, side_seed in 1u64..1000) {
+        let (hg, sides) = mapped_with_sides(120, 8, seed, side_seed);
+        let engine = EngineState::new(&hg, &sides);
+        for c in hg.cell_ids() {
+            let cell = hg.cell(c);
+            if cell.is_terminal() || cell.m_outputs() < 2 || !distinct_nets(&hg, c) {
+                continue;
+            }
+            let v = extract_vectors(&engine, c).expect("single cells have vectors");
+            let side = sides[c.0 as usize];
+            let mut best_engine = i64::MIN;
+            for o in 0..cell.m_outputs() {
+                let formula = functional_gain(cell.adjacency(), &v, o);
+                let exact = engine.peek_gain(
+                    c,
+                    CellState::Functional {
+                        orig_side: side,
+                        replica_mask: 1 << o,
+                    },
+                );
+                prop_assert_eq!(formula, exact, "cell {:?} output {}", c, o);
+                best_engine = best_engine.max(exact);
+            }
+            let (_, g) = best_functional_gain(cell.adjacency(), &v).expect("m >= 2");
+            prop_assert_eq!(g, best_engine, "eq. 11 takes the max (cell {:?})", c);
+        }
+    }
+
+    /// Applying any single state change realizes exactly the peeked gain,
+    /// and incremental bookkeeping matches a from-scratch rebuild.
+    #[test]
+    fn realized_gain_matches_peek(seed in 0u64..500, side_seed in 1u64..500, pick in 0usize..64) {
+        let (hg, sides) = mapped_with_sides(80, 6, seed, side_seed);
+        let mut engine = EngineState::new(&hg, &sides);
+        let logic: Vec<CellId> = hg
+            .cell_ids()
+            .filter(|&c| !hg.cell(c).is_terminal() && hg.cell(c).m_outputs() >= 2)
+            .collect();
+        prop_assume!(!logic.is_empty());
+        let c = logic[pick % logic.len()];
+        let side = sides[c.0 as usize];
+        for st in [
+            CellState::Single { side: 1 - side },
+            CellState::Functional { orig_side: side, replica_mask: 1 },
+            CellState::Traditional { orig_side: side },
+        ] {
+            let peek = engine.peek_gain(c, st);
+            let before = engine.cut();
+            let realized = engine.set_state(c, st);
+            prop_assert_eq!(peek, realized);
+            prop_assert_eq!(engine.cut() as i64, before as i64 - realized);
+            prop_assert!(engine.validate(), "incremental state diverged");
+            engine.set_state(c, CellState::Single { side });
+            prop_assert!(engine.validate());
+            prop_assert_eq!(engine.cut(), before);
+        }
+    }
+}
