@@ -183,14 +183,15 @@ impl Table3Record {
 pub fn table3_record(name: &str, hg: &Hypergraph, runs: usize) -> Table3Record {
     let base = BipartitionConfig::equal(hg, 0.1).with_seed(1000);
     let t0 = Instant::now();
-    let plain = run_many(hg, &base, runs);
+    let plain = run_many(hg, &base, runs).expect("equal-halves bounds are satisfiable");
     let plain_secs = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let repl = run_many(
         hg,
         &base.clone().with_replication(ReplicationMode::functional(0)),
         runs,
-    );
+    )
+    .expect("equal-halves bounds are satisfiable");
     let repl_secs = t0.elapsed().as_secs_f64();
     Table3Record {
         name: name.to_string(),

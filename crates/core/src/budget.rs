@@ -1,0 +1,252 @@
+//! Run budgets and the runtime clock that enforces them.
+//!
+//! A [`Budget`] declares how much work a run may do — wall-clock time,
+//! FM moves, FM passes, carve attempts — and a [`RunClock`] is the
+//! runtime instance that watches those limits (and any injected
+//! [`FaultPlan`](crate::FaultPlan)) as the engine executes. The engine
+//! polls the clock at natural checkpoints (each applied move, each
+//! pass, each carve attempt); when a limit trips, the engine abandons
+//! remaining work, keeps the best state found so far, and reports the
+//! [`StopReason`] — it never aborts the process.
+
+use crate::error::StopReason;
+use crate::fault::FaultPlan;
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// Wall-clock moves are only sampled every this many applied moves;
+/// `Instant::now` is cheap but not free, and FM applies moves in tight
+/// heap-pop loops.
+const WALL_CHECK_STRIDE: u64 = 64;
+
+/// Declarative work limits for a partitioning run.
+///
+/// All limits are optional; [`Budget::none`] (the default) never trips.
+/// Budgets degrade gracefully: a tripped run returns its best-so-far
+/// solution plus a [`Degradation`](crate::Degradation) report rather
+/// than an error, unless *no* usable solution exists yet (then
+/// [`PartitionError::BudgetExhausted`](crate::PartitionError::BudgetExhausted)).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Budget {
+    /// Wall-clock limit in milliseconds.
+    pub wall_ms: Option<u64>,
+    /// Limit on applied FM moves (summed across passes and, in k-way
+    /// runs, across carve bipartitions).
+    pub max_moves: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits (never trips).
+    pub fn none() -> Self {
+        Budget::default()
+    }
+
+    /// A wall-clock budget of `ms` milliseconds.
+    pub fn wall_ms(ms: u64) -> Self {
+        Budget {
+            wall_ms: Some(ms),
+            ..Budget::default()
+        }
+    }
+
+    /// Sets the applied-move limit.
+    pub fn with_max_moves(mut self, n: u64) -> Self {
+        self.max_moves = Some(n);
+        self
+    }
+
+    /// Whether any limit is configured.
+    pub fn is_limited(&self) -> bool {
+        self.wall_ms.is_some() || self.max_moves.is_some()
+    }
+
+    /// A human-readable description of the first configured limit, for
+    /// error messages.
+    pub fn describe(&self) -> String {
+        match (self.wall_ms, self.max_moves) {
+            (Some(ms), _) => format!("wall {ms}ms"),
+            (None, Some(n)) => format!("{n} moves"),
+            (None, None) => "unlimited".to_string(),
+        }
+    }
+}
+
+/// The runtime clock of one driver invocation: counts work, watches the
+/// [`Budget`] deadline and the [`FaultPlan`], and latches the first
+/// [`StopReason`] it observes.
+///
+/// Interior mutability (all counters are [`Cell`]s) lets the clock be
+/// threaded through the engine by shared reference alongside the
+/// immutable hypergraph and configuration.
+#[derive(Debug)]
+pub struct RunClock {
+    deadline: Option<Instant>,
+    max_moves: Option<u64>,
+    fault: FaultPlan,
+    moves: Cell<u64>,
+    passes: Cell<u64>,
+    attempts: Cell<u64>,
+    stopped: Cell<Option<StopReason>>,
+    budget: Budget,
+}
+
+impl RunClock {
+    /// Starts a clock for `budget` with faults from `fault`.
+    pub fn new(budget: &Budget, fault: &FaultPlan) -> Self {
+        RunClock {
+            deadline: budget
+                .wall_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            max_moves: budget.max_moves,
+            fault: fault.clone(),
+            moves: Cell::new(0),
+            passes: Cell::new(0),
+            attempts: Cell::new(0),
+            stopped: Cell::new(None),
+            budget: budget.clone(),
+        }
+    }
+
+    /// A clock that never trips.
+    pub fn unlimited() -> Self {
+        RunClock::new(&Budget::none(), &FaultPlan::none())
+    }
+
+    /// The first stop condition observed, if any.
+    pub fn stopped(&self) -> Option<StopReason> {
+        self.stopped.get()
+    }
+
+    /// The budget this clock enforces (for error messages).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Total applied moves observed.
+    pub fn moves(&self) -> u64 {
+        self.moves.get()
+    }
+
+    fn trip(&self, reason: StopReason) -> StopReason {
+        if self.stopped.get().is_none() {
+            self.stopped.set(Some(reason));
+        }
+        self.stopped.get().unwrap_or(reason)
+    }
+
+    /// Records one applied FM move; returns the stop reason if a limit
+    /// or fault tripped. The wall clock is only sampled every 64 moves
+    /// (`WALL_CHECK_STRIDE`).
+    pub fn tick_move(&self) -> Option<StopReason> {
+        if let Some(r) = self.stopped.get() {
+            return Some(r);
+        }
+        let n = self.moves.get() + 1;
+        self.moves.set(n);
+        if self.fault.kill_after_moves.is_some_and(|k| n >= k) {
+            return Some(self.trip(StopReason::FaultInjected));
+        }
+        if self.max_moves.is_some_and(|m| n >= m) {
+            return Some(self.trip(StopReason::BudgetExhausted));
+        }
+        if n.is_multiple_of(WALL_CHECK_STRIDE) {
+            return self.check_wall();
+        }
+        None
+    }
+
+    /// Records one completed FM pass; returns the stop reason if a
+    /// limit or fault tripped.
+    pub fn tick_pass(&self) -> Option<StopReason> {
+        if let Some(r) = self.stopped.get() {
+            return Some(r);
+        }
+        let n = self.passes.get() + 1;
+        self.passes.set(n);
+        if self.fault.kill_after_passes.is_some_and(|k| n >= k) {
+            return Some(self.trip(StopReason::FaultInjected));
+        }
+        self.check_wall()
+    }
+
+    /// Records one k-way carve attempt; returns the stop reason if a
+    /// limit or fault tripped.
+    pub fn tick_attempt(&self) -> Option<StopReason> {
+        if let Some(r) = self.stopped.get() {
+            return Some(r);
+        }
+        let n = self.attempts.get() + 1;
+        self.attempts.set(n);
+        if self.fault.kill_after_attempts.is_some_and(|k| n >= k) {
+            return Some(self.trip(StopReason::FaultInjected));
+        }
+        self.check_wall()
+    }
+
+    /// Samples the wall clock immediately (checkpoints between
+    /// multi-start runs use this).
+    pub fn check_wall(&self) -> Option<StopReason> {
+        if let Some(r) = self.stopped.get() {
+            return Some(r);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(self.trip(StopReason::BudgetExhausted));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let c = RunClock::unlimited();
+        for _ in 0..10_000 {
+            assert_eq!(c.tick_move(), None);
+        }
+        assert_eq!(c.tick_pass(), None);
+        assert_eq!(c.tick_attempt(), None);
+        assert_eq!(c.stopped(), None);
+    }
+
+    #[test]
+    fn move_budget_trips_and_latches() {
+        let c = RunClock::new(&Budget::none().with_max_moves(5), &FaultPlan::none());
+        for _ in 0..4 {
+            assert_eq!(c.tick_move(), None);
+        }
+        assert_eq!(c.tick_move(), Some(StopReason::BudgetExhausted));
+        // Latched: every later poll reports the same condition.
+        assert_eq!(c.tick_pass(), Some(StopReason::BudgetExhausted));
+        assert_eq!(c.stopped(), Some(StopReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_wall_budget_trips_fast() {
+        let c = RunClock::new(&Budget::wall_ms(0), &FaultPlan::none());
+        assert_eq!(c.check_wall(), Some(StopReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn fault_beats_budget_on_the_same_move() {
+        let c = RunClock::new(
+            &Budget::none().with_max_moves(3),
+            &FaultPlan::none().kill_after_moves(3),
+        );
+        assert_eq!(c.tick_move(), None);
+        assert_eq!(c.tick_move(), None);
+        assert_eq!(c.tick_move(), Some(StopReason::FaultInjected));
+    }
+
+    #[test]
+    fn describe_names_the_limit() {
+        assert_eq!(Budget::wall_ms(50).describe(), "wall 50ms");
+        assert_eq!(Budget::none().with_max_moves(9).describe(), "9 moves");
+        assert_eq!(Budget::none().describe(), "unlimited");
+        assert!(Budget::wall_ms(1).is_limited());
+        assert!(!Budget::none().is_limited());
+    }
+}

@@ -1,10 +1,12 @@
 //! Bipartitioning configuration.
 
+use crate::budget::Budget;
+use crate::fault::FaultPlan;
 use netpart_hypergraph::Hypergraph;
-use serde::{Deserialize, Serialize};
 
 /// Which replication moves the bipartitioner may perform.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ReplicationMode {
     /// Plain FM: single-cell moves only (the baseline of \[3\]).
     None,
@@ -40,7 +42,8 @@ impl ReplicationMode {
 /// experiment: two equal-sized halves) or
 /// [`BipartitionConfig::bounded`] (explicit per-side area windows, used
 /// by the k-way carver), then adjust with the builder methods.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BipartitionConfig {
     /// Inclusive lower area bound per side.
     pub min_area: [u64; 2],
@@ -63,6 +66,14 @@ pub struct BipartitionConfig {
     /// bounds limit growth). The k-way carver uses a small budget so
     /// replicas do not inflate the device count.
     pub max_growth: Option<u64>,
+    /// Work limits for the run; when a limit trips mid-run the
+    /// bipartitioner keeps its best state so far and reports the stop in
+    /// [`BipartitionResult::stop`](crate::BipartitionResult::stop)
+    /// instead of aborting. [`Budget::none`] by default.
+    pub budget: Budget,
+    /// Deterministic fault-injection plan (testing hook); see
+    /// [`FaultPlan`]. [`FaultPlan::none`] by default.
+    pub fault: FaultPlan,
 }
 
 impl BipartitionConfig {
@@ -85,6 +96,8 @@ impl BipartitionConfig {
             seed: 0,
             terminal_weight: [0, 0],
             max_growth: None,
+            budget: Budget::none(),
+            fault: FaultPlan::none(),
         }
     }
 
@@ -98,6 +111,8 @@ impl BipartitionConfig {
             seed: 0,
             terminal_weight: [0, 0],
             max_growth: None,
+            budget: Budget::none(),
+            fault: FaultPlan::none(),
         }
     }
 
@@ -128,6 +143,18 @@ impl BipartitionConfig {
     /// Sets the FM pass limit.
     pub fn with_max_passes(mut self, n: usize) -> Self {
         self.max_passes = n.max(1);
+        self
+    }
+
+    /// Sets the run budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Arms a fault-injection plan (testing hook).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 

@@ -85,8 +85,8 @@ pub fn extract_rest(
     let mut new_origin: Vec<Option<(CellId, u32)>> = Vec::new();
 
     // (cell, copy index) → (new cell, kept input indices, kept output indices)
-    let mut kept: Vec<Vec<(netpart_hypergraph::CellId, Vec<usize>, Vec<usize>)>> =
-        vec![Vec::new(); hg.n_cells()];
+    type KeptCopy = (netpart_hypergraph::CellId, Vec<usize>, Vec<usize>);
+    let mut kept: Vec<Vec<KeptCopy>> = vec![Vec::new(); hg.n_cells()];
 
     for c in hg.cell_ids() {
         let cell = hg.cell(c);

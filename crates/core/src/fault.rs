@@ -1,0 +1,76 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A [`FaultPlan`] tells the engine to *pretend* a resource died after a
+//! fixed amount of work: the [`RunClock`](crate::RunClock) reports
+//! [`StopReason::FaultInjected`](crate::StopReason::FaultInjected) at
+//! the configured checkpoint, and the driver must then behave exactly as
+//! it would on a real mid-run interruption — return the best solution
+//! found so far with a degradation report, or a typed error, but never
+//! panic. The fault-injection test harness (`tests/fault_injection.rs`)
+//! sweeps kill points across the engine's checkpoints to verify that
+//! contract.
+//!
+//! Plans are plain data and deterministic: the same plan on the same
+//! input always kills at the same checkpoint.
+
+/// A deterministic fault-injection plan. [`FaultPlan::none`] (the
+/// default) injects nothing.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultPlan {
+    /// Report a fault once this many FM moves have been applied.
+    pub kill_after_moves: Option<u64>,
+    /// Report a fault once this many FM passes have completed.
+    pub kill_after_passes: Option<u64>,
+    /// Report a fault once this many k-way carve attempts have started.
+    pub kill_after_attempts: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether any fault is armed.
+    pub fn is_armed(&self) -> bool {
+        self.kill_after_moves.is_some()
+            || self.kill_after_passes.is_some()
+            || self.kill_after_attempts.is_some()
+    }
+
+    /// Arms a kill after `n` applied FM moves.
+    pub fn kill_after_moves(mut self, n: u64) -> Self {
+        self.kill_after_moves = Some(n);
+        self
+    }
+
+    /// Arms a kill after `n` completed FM passes.
+    pub fn kill_after_passes(mut self, n: u64) -> Self {
+        self.kill_after_passes = Some(n);
+        self
+    }
+
+    /// Arms a kill after `n` k-way carve attempts.
+    pub fn kill_after_attempts(mut self, n: u64) -> Self {
+        self.kill_after_attempts = Some(n);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_arm_the_plan() {
+        assert!(!FaultPlan::none().is_armed());
+        assert!(FaultPlan::none().kill_after_moves(1).is_armed());
+        assert!(FaultPlan::none().kill_after_passes(2).is_armed());
+        assert!(FaultPlan::none().kill_after_attempts(3).is_armed());
+        let p = FaultPlan::none().kill_after_moves(7).kill_after_attempts(9);
+        assert_eq!(p.kill_after_moves, Some(7));
+        assert_eq!(p.kill_after_passes, None);
+        assert_eq!(p.kill_after_attempts, Some(9));
+    }
+}

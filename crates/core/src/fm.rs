@@ -2,12 +2,12 @@
 //! moves (paper §III-D): gain-ordered move selection, lock-after-move,
 //! rollback to the best balanced prefix, repeated passes to convergence.
 
+use crate::budget::RunClock;
 use crate::config::{BipartitionConfig, ReplicationMode};
+use crate::error::StopReason;
 use crate::state::{CellState, EngineState};
 use netpart_hypergraph::{CellId, Hypergraph, Placement};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use netpart_rng::Rng;
 use std::collections::BinaryHeap;
 
 /// The outcome of one bipartitioning run.
@@ -23,6 +23,11 @@ pub struct BipartitionResult {
     pub passes: usize,
     /// Whether the final state satisfies both sides' area bounds.
     pub balanced: bool,
+    /// Why the run ended. Anything but [`StopReason::Converged`] means
+    /// further passes might still have improved the cut; the state
+    /// returned is always the best found before stopping (interrupted
+    /// passes roll back to their best balanced prefix as usual).
+    pub stop: StopReason,
     /// The final placement; `None` only under
     /// [`ReplicationMode::Traditional`] with replicas present (traditional
     /// copies share output nets and have no [`Placement`] form).
@@ -135,7 +140,12 @@ struct PassOutcome {
     any_balanced: bool,
 }
 
-fn run_pass(engine: &mut EngineState<'_>, cfg: &BipartitionConfig, psi: &[u32]) -> PassOutcome {
+fn run_pass(
+    engine: &mut EngineState<'_>,
+    cfg: &BipartitionConfig,
+    psi: &[u32],
+    clock: &RunClock,
+) -> PassOutcome {
     let hg = engine.hypergraph();
     let total0 = hg.total_area();
     let n = hg.n_cells();
@@ -192,6 +202,12 @@ fn run_pass(engine: &mut EngineState<'_>, cfg: &BipartitionConfig, psi: &[u32]) 
         if cfg.balanced(engine.areas()) && best.is_none_or(|(b, _)| cum > b) {
             best = Some((cum, log.len()));
         }
+        // A tripped budget or injected fault abandons the rest of the
+        // pass; the rollback below still restores the best balanced
+        // prefix, so interruption only costs unexplored moves.
+        if clock.tick_move().is_some() {
+            break;
+        }
         // Refresh every unlocked cell whose incident nets changed, plus
         // anything deferred on area limits.
         let mut touched: Vec<CellId> = Vec::new();
@@ -223,9 +239,9 @@ fn run_pass(engine: &mut EngineState<'_>, cfg: &BipartitionConfig, psi: &[u32]) 
 /// A random initial assignment that fills side 0 up to the midpoint of
 /// its area window (respecting side 1's upper bound), in shuffled order.
 pub(crate) fn initial_sides(hg: &Hypergraph, cfg: &BipartitionConfig) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut order: Vec<CellId> = hg.cell_ids().collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let total = hg.total_area();
     let mid0 = (cfg.min_area[0] + cfg.max_area[0]) / 2;
     let floor0 = total.saturating_sub(cfg.max_area[1]);
@@ -250,6 +266,18 @@ pub(crate) fn initial_sides(hg: &Hypergraph, cfg: &BipartitionConfig) -> Vec<u8>
 /// stop after [`BipartitionConfig::max_passes`] or the first pass without
 /// improvement.
 pub fn bipartition(hg: &Hypergraph, cfg: &BipartitionConfig) -> BipartitionResult {
+    let clock = RunClock::new(&cfg.budget, &cfg.fault);
+    bipartition_with_clock(hg, cfg, &clock)
+}
+
+/// [`bipartition`] against an externally owned [`RunClock`], so that
+/// multi-start and k-way drivers can enforce one budget across many
+/// bipartitions.
+pub(crate) fn bipartition_with_clock(
+    hg: &Hypergraph,
+    cfg: &BipartitionConfig,
+    clock: &RunClock,
+) -> BipartitionResult {
     let sides = initial_sides(hg, cfg);
     let mut engine = EngineState::new_weighted(hg, &sides, cfg.terminal_weight);
     let psi: Vec<u32> = hg
@@ -270,17 +298,24 @@ pub fn bipartition(hg: &Hypergraph, cfg: &BipartitionConfig) -> BipartitionResul
     } else {
         &[ReplicationMode::None]
     };
-    for &mode in phases {
+    let mut stop = StopReason::Converged;
+    'phases: for &mode in phases {
         let phase_cfg = BipartitionConfig {
             replication: mode,
             ..cfg.clone()
         };
+        stop = StopReason::PassLimit; // overwritten on convergence/interruption
         for _ in 0..cfg.max_passes {
-            let out = run_pass(&mut engine, &phase_cfg, &psi);
+            let out = run_pass(&mut engine, &phase_cfg, &psi, clock);
             passes += 1;
+            if let Some(r) = clock.tick_pass() {
+                stop = r;
+                break 'phases;
+            }
             let progress = out.improvement > 0 || (!balanced_ever && out.any_balanced);
             balanced_ever |= out.any_balanced;
             if !progress {
+                stop = StopReason::Converged;
                 break;
             }
         }
@@ -293,6 +328,7 @@ pub fn bipartition(hg: &Hypergraph, cfg: &BipartitionConfig) -> BipartitionResul
         replicated_cells: engine.replicated_cells(),
         passes,
         balanced: cfg.balanced(engine.areas()),
+        stop,
         placement: exportable.then(|| engine.to_placement()),
     }
 }

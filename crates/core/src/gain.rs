@@ -165,9 +165,9 @@ mod tests {
         );
         let px1 = b.add_cell("sX1", CellKind::output_pad(), 1, 0, AdjacencyMatrix::pad());
         let px2 = b.add_cell("sX2", CellKind::output_pad(), 1, 0, AdjacencyMatrix::pad());
-        for i in 0..5 {
+        for (i, &pad) in pads.iter().enumerate() {
             let n = b.add_net(format!("na{i}"));
-            b.connect_output(n, pads[i], 0).unwrap();
+            b.connect_output(n, pad, 0).unwrap();
             b.connect_input(n, m, i).unwrap();
         }
         let nx1 = b.add_net("nx1");

@@ -39,8 +39,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod config;
+pub mod error;
 mod extract;
+mod fault;
 mod fm;
 pub mod gain;
 pub mod kway;
@@ -49,10 +52,13 @@ pub mod rent;
 mod runs;
 mod state;
 
+pub use budget::{Budget, RunClock};
 pub use config::{BipartitionConfig, ReplicationMode};
+pub use error::{Degradation, PartitionError, Relaxation, StopReason};
 pub use extract::{extract_rest, Extraction};
+pub use fault::FaultPlan;
 pub use fm::{bipartition, BipartitionResult};
-pub use kway::{kway_partition, KWayConfig, KWayError, KWayResult};
+pub use kway::{kway_partition, KWayConfig, KWayResult};
 pub use refine::{refine_kway, unreplicate_cleanup, RefineStats};
 pub use runs::{run_many, MultiRunStats};
 pub use state::{CellState, EngineState};

@@ -1,17 +1,27 @@
 //! Multi-start harness: the paper's Table III methodology (20 randomized
 //! bipartitioning runs per circuit, reporting best and average cut).
+//!
+//! The harness shares one [`Budget`](crate::Budget) across all starts:
+//! the first start always runs to completion (so a usable solution
+//! exists whenever one is reachable at all), later starts are skipped
+//! once the budget trips, and the result carries a
+//! [`Degradation`] report saying how many starts actually ran.
 
+use crate::budget::RunClock;
 use crate::config::BipartitionConfig;
-use crate::fm::{bipartition, BipartitionResult};
+use crate::error::{Degradation, PartitionError, StopReason};
+use crate::fm::{bipartition_with_clock, BipartitionResult};
 use netpart_hypergraph::Hypergraph;
 
 /// Aggregate statistics over repeated randomized runs.
 #[derive(Clone, Debug)]
 pub struct MultiRunStats {
-    /// Every run's result, in seed order.
+    /// Every completed run's result, in seed order.
     pub results: Vec<BipartitionResult>,
     /// Index of the best (lowest-cut balanced) run.
     pub best_index: usize,
+    /// How the harness degraded from the requested run count, if at all.
+    pub degradation: Degradation,
 }
 
 impl MultiRunStats {
@@ -44,36 +54,94 @@ impl MultiRunStats {
     }
 }
 
-/// Runs `n` bipartitions with seeds `base.seed`, `base.seed + 1`, … and
-/// collects statistics.
+/// Runs up to `n` bipartitions with seeds `base.seed`, `base.seed + 1`, …
+/// and collects statistics.
 ///
-/// # Panics
+/// The budget in `base` covers the whole harness, not each start. The
+/// first start always completes; once the budget (or an injected fault)
+/// trips, remaining starts are skipped and
+/// [`MultiRunStats::degradation`] reports the shortfall.
 ///
-/// Panics if `n == 0` or no run achieves balance (pathological bounds).
-pub fn run_many(hg: &Hypergraph, base: &BipartitionConfig, n: usize) -> MultiRunStats {
-    assert!(n > 0, "at least one run");
+/// # Errors
+///
+/// * [`PartitionError::InvalidInput`] if `n == 0` or the hypergraph has
+///   no cells.
+/// * [`PartitionError::BudgetExhausted`] if the budget tripped before
+///   any run achieved balance.
+/// * [`PartitionError::InfeasibleLibrary`] if every run completed but
+///   none satisfied the area bounds (pathological windows).
+pub fn run_many(
+    hg: &Hypergraph,
+    base: &BipartitionConfig,
+    n: usize,
+) -> Result<MultiRunStats, PartitionError> {
+    if n == 0 {
+        return Err(PartitionError::invalid_input(
+            "multi-start harness needs at least one run",
+        ));
+    }
+    if hg.n_cells() == 0 {
+        return Err(PartitionError::invalid_input(
+            "cannot partition an empty hypergraph",
+        ));
+    }
+    let clock = RunClock::new(&base.budget, &base.fault);
     let mut results = Vec::with_capacity(n);
     for i in 0..n {
+        // The first start always runs — a budget too small for even one
+        // start should still produce that start's (quickly truncated)
+        // result rather than nothing.
+        if i > 0 && clock.check_wall().is_some() {
+            break;
+        }
         let cfg = base.clone().with_seed(base.seed.wrapping_add(i as u64));
-        results.push(bipartition(hg, &cfg));
+        results.push(bipartition_with_clock(hg, &cfg, &clock));
+        if clock.stopped().is_some() {
+            break;
+        }
     }
+    let completed = results.len();
+    let degradation = Degradation {
+        requested: n,
+        completed,
+        budget_exhausted: clock.stopped() == Some(StopReason::BudgetExhausted),
+        fault_injected: clock.stopped() == Some(StopReason::FaultInjected),
+        relaxations: Vec::new(),
+    };
     let best_index = results
         .iter()
         .enumerate()
         .filter(|(_, r)| r.balanced)
         .min_by_key(|(_, r)| r.cut)
-        .map(|(i, _)| i)
-        .expect("at least one balanced run");
-    MultiRunStats {
-        results,
-        best_index,
+        .map(|(i, _)| i);
+    match best_index {
+        Some(best_index) => Ok(MultiRunStats {
+            results,
+            best_index,
+            degradation,
+        }),
+        None if degradation.budget_exhausted || degradation.fault_injected => {
+            Err(PartitionError::BudgetExhausted {
+                budget: base.budget.describe(),
+                completed,
+            })
+        }
+        None => Err(PartitionError::InfeasibleLibrary {
+            reason: format!(
+                "no run satisfied the area bounds [{:?}..{:?}]",
+                base.min_area, base.max_area
+            ),
+            attempts: completed,
+        }),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::Budget;
     use crate::config::ReplicationMode;
+    use crate::fault::FaultPlan;
     use netpart_netlist::{generate, GeneratorConfig};
     use netpart_techmap::{map, MapperConfig};
 
@@ -88,28 +156,75 @@ mod tests {
     fn stats_aggregate_over_runs() {
         let hg = mapped(300, 2);
         let cfg = BipartitionConfig::equal(&hg, 0.1).with_seed(10);
-        let stats = run_many(&hg, &cfg, 5);
+        let stats = run_many(&hg, &cfg, 5).unwrap();
         assert_eq!(stats.results.len(), 5);
         assert!(stats.best_cut() as f64 <= stats.avg_cut());
         assert!(stats.best().balanced);
         assert_eq!(stats.avg_replicated(), 0.0);
+        assert!(!stats.degradation.is_degraded());
     }
 
     #[test]
     fn replication_beats_plain_on_average() {
         let hg = mapped(400, 6);
         let base = BipartitionConfig::equal(&hg, 0.1).with_seed(1);
-        let plain = run_many(&hg, &base, 5);
+        let plain = run_many(&hg, &base, 5).unwrap();
         let repl = run_many(
             &hg,
             &base.clone().with_replication(ReplicationMode::functional(0)),
             5,
-        );
+        )
+        .unwrap();
         assert!(
             repl.avg_cut() <= plain.avg_cut(),
             "functional replication should help on average: {} vs {}",
             repl.avg_cut(),
             plain.avg_cut()
         );
+    }
+
+    #[test]
+    fn zero_runs_is_invalid_input() {
+        let hg = mapped(100, 1);
+        let cfg = BipartitionConfig::equal(&hg, 0.1);
+        assert!(matches!(
+            run_many(&hg, &cfg, 0),
+            Err(PartitionError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn impossible_bounds_are_infeasible_not_a_panic() {
+        let hg = mapped(100, 1);
+        // Both sides must exceed the total area: unsatisfiable.
+        let total = hg.total_area();
+        let cfg = BipartitionConfig::bounded([total, total], [2 * total, 2 * total]);
+        match run_many(&hg, &cfg, 3) {
+            Err(PartitionError::InfeasibleLibrary { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected InfeasibleLibrary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_wall_budget_still_completes_one_start() {
+        let hg = mapped(200, 3);
+        let cfg = BipartitionConfig::equal(&hg, 0.1).with_budget(Budget::wall_ms(0));
+        let stats = run_many(&hg, &cfg, 20).unwrap();
+        assert_eq!(stats.results.len(), 1, "exactly the guaranteed first start");
+        assert!(stats.degradation.is_degraded());
+        assert!(stats.degradation.budget_exhausted);
+        assert_eq!(stats.degradation.completed, 1);
+    }
+
+    #[test]
+    fn fault_mid_harness_returns_best_so_far() {
+        let hg = mapped(200, 3);
+        // Generous move allowance: let a couple of starts finish, then die.
+        let cfg = BipartitionConfig::equal(&hg, 0.1)
+            .with_fault(FaultPlan::none().kill_after_moves(3 * hg.n_cells() as u64));
+        let stats = run_many(&hg, &cfg, 20).unwrap();
+        assert!(stats.results.len() < 20);
+        assert!(stats.degradation.fault_injected);
+        assert!(stats.best().balanced);
     }
 }

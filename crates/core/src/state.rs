@@ -118,8 +118,8 @@ impl<'a> EngineState<'a> {
             let cs = st.state[c.index()];
             for (net, pin) in Self::cell_pins(hg, c) {
                 let conn = Self::pin_conn(hg, c, cs, pin);
-                for side in 0..2 {
-                    if conn[side] {
+                for (side, &connected) in conn.iter().enumerate() {
+                    if connected {
                         match pin {
                             Pin::Output(_) => st.drv_cnt[net.index()][side] += 1,
                             Pin::Input(_) => st.sink_cnt[net.index()][side] += 1,
@@ -570,7 +570,7 @@ mod tests {
     #[should_panic(expected = "no Placement representation")]
     fn traditional_export_panics() {
         let (hg, m, _) = fig1();
-        let mut st = EngineState::new(&hg, &vec![0; 6]);
+        let mut st = EngineState::new(&hg, &[0; 6]);
         st.set_state(m, CellState::Traditional { orig_side: 0 });
         let _ = st.to_placement();
     }

@@ -1,6 +1,6 @@
 //! A single FPGA device type `D_i = (c_i, t_i, d_i, l_i, u_i)`.
 
-use serde::{Deserialize, Serialize};
+use crate::error::FpgaError;
 use std::fmt;
 
 /// One device type of the heterogeneous library.
@@ -8,7 +8,8 @@ use std::fmt;
 /// Fields follow the paper's Table I: `c` elementary circuit units (CLBs),
 /// `t` terminals (IOBs), price `d`, and lower/upper bounds `l`, `u` on CLB
 /// utilization of a feasible partition.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Device {
     name: String,
     clbs: u32,
@@ -33,20 +34,63 @@ impl Device {
         min_util: f64,
         max_util: f64,
     ) -> Self {
-        assert!(clbs > 0 && iobs > 0, "device capacities must be positive");
-        assert!(
-            (0.0..=1.0).contains(&min_util)
-                && (0.0..=1.0).contains(&max_util)
-                && min_util <= max_util,
-            "utilization bounds must satisfy 0 ≤ l ≤ u ≤ 1"
-        );
-        Device {
-            name: name.into(),
+        match Device::try_new(name, clbs, iobs, price, min_util, max_util) {
+            Ok(d) => d,
+            Err(FpgaError::InvalidDevice { what, .. })
+                if what.contains("capacities") =>
+            {
+                panic!("device capacities must be positive")
+            }
+            Err(_) => panic!("utilization bounds must satisfy 0 ≤ l ≤ u ≤ 1"),
+        }
+    }
+
+    /// Non-panicking [`Device::new`]: validates the parameters and
+    /// returns [`FpgaError::InvalidDevice`] instead of panicking.
+    pub fn try_new(
+        name: impl Into<String>,
+        clbs: u32,
+        iobs: u32,
+        price: u64,
+        min_util: f64,
+        max_util: f64,
+    ) -> Result<Self, FpgaError> {
+        let name = name.into();
+        if clbs == 0 || iobs == 0 {
+            return Err(FpgaError::InvalidDevice {
+                name,
+                what: format!("capacities must be positive (c={clbs}, t={iobs})"),
+            });
+        }
+        if !((0.0..=1.0).contains(&min_util)
+            && (0.0..=1.0).contains(&max_util)
+            && min_util <= max_util)
+        {
+            return Err(FpgaError::InvalidDevice {
+                name,
+                what: format!(
+                    "utilization bounds must satisfy 0 ≤ l ≤ u ≤ 1 (l={min_util}, u={max_util})"
+                ),
+            });
+        }
+        Ok(Device {
+            name,
             clbs,
             iobs,
             price,
             min_util,
             max_util,
+        })
+    }
+
+    /// A copy of this device with the lower utilization bound `l_i`
+    /// relaxed to 0, so parts may underfill it. Used by the k-way
+    /// escalation ladder when the strict feasibility window admits no
+    /// partition.
+    pub fn relaxed_floor(&self) -> Device {
+        Device {
+            min_util: 0.0,
+            ..self.clone()
         }
     }
 

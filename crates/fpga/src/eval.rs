@@ -2,12 +2,13 @@
 //! objective functions (1) and (2) plus per-part detail.
 
 use crate::device::Device;
+use crate::error::FpgaError;
 use crate::library::DeviceLibrary;
 use netpart_hypergraph::{Hypergraph, Placement};
-use serde::{Deserialize, Serialize};
 
 /// Per-part evaluation detail.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PartEval {
     /// The part.
     pub part: u16,
@@ -26,7 +27,8 @@ pub struct PartEval {
 }
 
 /// Evaluation of a complete k-way partition.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Evaluation {
     /// Per-part detail, one entry per non-empty part.
     pub parts: Vec<PartEval>,
@@ -70,7 +72,33 @@ pub fn evaluate(
     library: &DeviceLibrary,
     devices: &[usize],
 ) -> Evaluation {
-    assert!(devices.len() >= placement.n_parts(), "device per part");
+    match try_evaluate(hg, placement, library, devices) {
+        Ok(e) => e,
+        Err(FpgaError::MissingDeviceAssignment { .. }) => panic!("device per part"),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Non-panicking [`evaluate`]: reports a too-short `devices` slice or an
+/// out-of-range library index as an [`FpgaError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`FpgaError::MissingDeviceAssignment`] if `devices` is shorter than
+/// the placement's part count; [`FpgaError::DeviceIndexOutOfRange`] if
+/// an assignment for a non-empty part points past the library.
+pub fn try_evaluate(
+    hg: &Hypergraph,
+    placement: &Placement,
+    library: &DeviceLibrary,
+    devices: &[usize],
+) -> Result<Evaluation, FpgaError> {
+    if devices.len() < placement.n_parts() {
+        return Err(FpgaError::MissingDeviceAssignment {
+            parts: placement.n_parts(),
+            devices: devices.len(),
+        });
+    }
     let areas = placement.part_areas(hg);
     let terms = placement.part_terminal_counts(hg);
     let mut parts = Vec::new();
@@ -86,7 +114,13 @@ pub fn evaluate(
         if clbs == 0 && terminals == 0 {
             continue;
         }
-        let dev: &Device = library.device(devices[p]);
+        let dev: &Device =
+            library
+                .get(devices[p])
+                .ok_or(FpgaError::DeviceIndexOutOfRange {
+                    index: devices[p],
+                    len: library.len(),
+                })?;
         let ok = dev.fits(clbs, terminals);
         feasible &= ok;
         total_cost += dev.price();
@@ -104,7 +138,7 @@ pub fn evaluate(
             feasible: ok,
         });
     }
-    Evaluation {
+    Ok(Evaluation {
         parts,
         total_cost,
         avg_iob_util: if cap_terms == 0 {
@@ -118,7 +152,7 @@ pub fn evaluate(
             sum_clbs as f64 / cap_clbs as f64
         },
         feasible,
-    }
+    })
 }
 
 /// Chooses, for every non-empty part, the cheapest feasible device, and
@@ -223,5 +257,94 @@ mod tests {
         let eval = evaluate(&hg, &p, &lib, &[0]);
         assert!(!eval.feasible);
         assert!(!eval.parts[0].feasible);
+    }
+
+    #[test]
+    fn empty_parts_are_skipped_not_charged() {
+        // Everything on part 0 of a 3-part placement: parts 1 and 2 are
+        // empty and must contribute neither cost nor capacity.
+        let (hg, _) = ladder(30);
+        let p = Placement::new_uniform(&hg, 3, PartId(0));
+        let lib = DeviceLibrary::xc3000();
+        // Deliberately out-of-range indices for the empty parts: they
+        // are never dereferenced.
+        let eval = try_evaluate(&hg, &p, &lib, &[0, 99, 99]).unwrap();
+        assert_eq!(eval.k(), 1);
+        assert_eq!(eval.total_cost, lib.device(0).price());
+    }
+
+    #[test]
+    fn exactly_max_clbs_is_feasible_one_more_is_not() {
+        // u·c = 0.9 · 100 → the window tops out at exactly 90 CLBs.
+        let lib = DeviceLibrary::new(vec![Device::new("T", 100, 8, 7, 0.0, 0.9)]);
+        let (hg, _) = ladder(90);
+        let p = Placement::new_uniform(&hg, 1, PartId(0));
+        assert!(try_evaluate(&hg, &p, &lib, &[0]).unwrap().feasible);
+        let (hg, _) = ladder(91);
+        let p = Placement::new_uniform(&hg, 1, PartId(0));
+        assert!(!try_evaluate(&hg, &p, &lib, &[0]).unwrap().feasible);
+    }
+
+    #[test]
+    fn exactly_min_clbs_is_feasible_one_fewer_is_not() {
+        // l·c = 0.5 · 100 → the window bottoms out at exactly 50 CLBs.
+        let lib = DeviceLibrary::new(vec![Device::new("T", 100, 8, 7, 0.5, 1.0)]);
+        let (hg, _) = ladder(50);
+        let p = Placement::new_uniform(&hg, 1, PartId(0));
+        assert!(try_evaluate(&hg, &p, &lib, &[0]).unwrap().feasible);
+        let (hg, _) = ladder(49);
+        let p = Placement::new_uniform(&hg, 1, PartId(0));
+        assert!(!try_evaluate(&hg, &p, &lib, &[0]).unwrap().feasible);
+    }
+
+    #[test]
+    fn exactly_t_terminals_is_feasible_overflow_is_not() {
+        // A single part of the ladder uses exactly 2 terminals (the two
+        // pads): feasible on a 2-IOB device, infeasible on a 1-IOB one.
+        let (hg, _) = ladder(10);
+        let p = Placement::new_uniform(&hg, 1, PartId(0));
+        let exact = DeviceLibrary::new(vec![Device::new("T2", 64, 2, 1, 0.0, 1.0)]);
+        let eval = try_evaluate(&hg, &p, &exact, &[0]).unwrap();
+        assert_eq!(eval.parts[0].terminals, 2);
+        assert!(eval.feasible);
+        assert!((eval.parts[0].iob_util - 1.0).abs() < 1e-12);
+        let starved = DeviceLibrary::new(vec![Device::new("T1", 64, 1, 1, 0.0, 1.0)]);
+        assert!(!try_evaluate(&hg, &p, &starved, &[0]).unwrap().feasible);
+    }
+
+    #[test]
+    fn short_device_slice_is_typed_error() {
+        let (hg, _) = ladder(10);
+        let p = Placement::new_uniform(&hg, 2, PartId(0));
+        let lib = DeviceLibrary::xc3000();
+        assert_eq!(
+            try_evaluate(&hg, &p, &lib, &[0]).unwrap_err(),
+            FpgaError::MissingDeviceAssignment {
+                parts: 2,
+                devices: 1
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_device_index_is_typed_error() {
+        let (hg, _) = ladder(10);
+        let p = Placement::new_uniform(&hg, 1, PartId(0));
+        let lib = DeviceLibrary::xc3000();
+        assert_eq!(
+            try_evaluate(&hg, &p, &lib, &[lib.len()]).unwrap_err(),
+            FpgaError::DeviceIndexOutOfRange {
+                index: lib.len(),
+                len: lib.len()
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "device per part")]
+    fn panicking_evaluate_keeps_its_contract() {
+        let (hg, _) = ladder(10);
+        let p = Placement::new_uniform(&hg, 2, PartId(0));
+        evaluate(&hg, &p, &DeviceLibrary::xc3000(), &[0]);
     }
 }

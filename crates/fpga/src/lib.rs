@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 mod device;
+mod error;
 pub mod eval;
 mod library;
 
 pub use device::Device;
-pub use eval::{assign_devices, evaluate, Evaluation, PartEval};
+pub use error::FpgaError;
+pub use eval::{assign_devices, evaluate, try_evaluate, Evaluation, PartEval};
 pub use library::DeviceLibrary;

@@ -1,7 +1,7 @@
 //! The heterogeneous device library.
 
 use crate::device::Device;
-use serde::{Deserialize, Serialize};
+use crate::error::FpgaError;
 
 /// An ordered collection of [`Device`] types (ascending CLB capacity).
 ///
@@ -14,7 +14,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(lib.len(), 5);
 /// assert!(lib.device(0).clbs() < lib.device(4).clbs());
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceLibrary {
     devices: Vec<Device>,
 }
@@ -26,10 +27,18 @@ impl DeviceLibrary {
     /// # Panics
     ///
     /// Panics if `devices` is empty.
-    pub fn new(mut devices: Vec<Device>) -> Self {
-        assert!(!devices.is_empty(), "a device library cannot be empty");
-        devices.sort_by(|a, b| (a.clbs(), a.price()).cmp(&(b.clbs(), b.price())));
-        DeviceLibrary { devices }
+    pub fn new(devices: Vec<Device>) -> Self {
+        DeviceLibrary::try_new(devices).expect("a device library cannot be empty")
+    }
+
+    /// Non-panicking [`DeviceLibrary::new`]: returns
+    /// [`FpgaError::EmptyLibrary`] instead of panicking.
+    pub fn try_new(mut devices: Vec<Device>) -> Result<Self, FpgaError> {
+        if devices.is_empty() {
+            return Err(FpgaError::EmptyLibrary);
+        }
+        devices.sort_by_key(|a| (a.clbs(), a.price()));
+        Ok(DeviceLibrary { devices })
     }
 
     /// The XC3000 subset of the paper's Table I.
@@ -69,6 +78,11 @@ impl DeviceLibrary {
         &self.devices[i]
     }
 
+    /// The device at library index `i`, or `None` if out of range.
+    pub fn get(&self, i: usize) -> Option<&Device> {
+        self.devices.get(i)
+    }
+
     /// Iterates over the devices in ascending capacity order.
     pub fn iter(&self) -> impl Iterator<Item = &Device> {
         self.devices.iter()
@@ -91,6 +105,26 @@ impl DeviceLibrary {
             .iter()
             .filter(|d| d.fits(clbs, terminals))
             .min_by_key(|d| d.price())
+    }
+
+    /// The largest (by usable CLB capacity, ties by cheaper price)
+    /// device on which a partition with `clbs` CLBs and `terminals` used
+    /// IOBs is feasible. The k-way escalation ladder prefers this over
+    /// [`cheapest_fitting`](Self::cheapest_fitting) when cost must be
+    /// traded for terminal/area headroom.
+    pub fn largest_fitting(&self, clbs: u64, terminals: u64) -> Option<&Device> {
+        self.devices
+            .iter()
+            .filter(|d| d.fits(clbs, terminals))
+            .max_by_key(|d| (d.max_clbs(), std::cmp::Reverse(d.price())))
+    }
+
+    /// A copy of this library with every device's lower utilization
+    /// bound `l_i` relaxed to 0 (see [`Device::relaxed_floor`]).
+    pub fn relaxed_floor(&self) -> DeviceLibrary {
+        DeviceLibrary {
+            devices: self.devices.iter().map(Device::relaxed_floor).collect(),
+        }
     }
 
     /// The largest per-device CLB budget in the library

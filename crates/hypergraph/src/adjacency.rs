@@ -2,7 +2,6 @@
 //! *replication potential* `ψ` (eq. 4).
 
 use crate::bitvec::BitVec;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The functional dependency of a cell's outputs on its inputs.
@@ -22,7 +21,8 @@ use std::fmt;
 /// let adj = AdjacencyMatrix::from_rows(5, &[&[0, 1, 2, 3], &[3, 4]]);
 /// assert_eq!(adj.replication_potential(), 4);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdjacencyMatrix {
     n_inputs: usize,
     rows: Vec<BitVec>,

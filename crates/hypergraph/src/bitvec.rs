@@ -3,7 +3,6 @@
 //! (population count). See §II of the paper ("There are three binary
 //! operations we will perform on the adjacency vectors…").
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fixed-length vector of bits.
@@ -21,7 +20,8 @@ use std::fmt;
 /// assert_eq!(a_x2.norm(), 2);
 /// assert_eq!(a_x2.complement().norm(), 3);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitVec {
     len: usize,
     words: Vec<u64>,

@@ -1,15 +1,16 @@
 //! The immutable circuit hypergraph: cells, nets and pin-level connectivity.
 
 use crate::adjacency::AdjacencyMatrix;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a cell (interior or terminal node).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CellId(pub u32);
 
 /// Identifier of a net (hyperedge).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetId(pub u32);
 
 impl CellId {
@@ -51,7 +52,8 @@ impl fmt::Display for NetId {
 }
 
 /// A pin of a cell: either input `j` or output `o`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Pin {
     /// Input pin with index `j` into the cell's input list.
     Input(u16),
@@ -60,7 +62,8 @@ pub enum Pin {
 }
 
 /// One endpoint of a net: a specific pin of a specific cell.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Endpoint {
     /// The cell the net attaches to.
     pub cell: CellId,
@@ -69,7 +72,8 @@ pub struct Endpoint {
 }
 
 /// The role of a node in the hypergraph `H = ({X; Y}, E)`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CellKind {
     /// An interior node (set `X`): a mapped logic cell occupying `area`
     /// elementary circuit units (CLBs for XC3000), of which `dff` D
@@ -125,7 +129,8 @@ impl CellKind {
 }
 
 /// A node of the hypergraph together with its pin connectivity.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cell {
     pub(crate) name: String,
     pub(crate) kind: CellKind,
@@ -213,7 +218,8 @@ impl Cell {
 }
 
 /// A hyperedge: one driver endpoint and zero or more sink endpoints.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Net {
     pub(crate) name: String,
     pub(crate) driver: Endpoint,
@@ -249,7 +255,8 @@ impl Net {
 
 /// Aggregate statistics of a hypergraph, matching the columns of the
 /// paper's Table II.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Stats {
     /// Total CLB count (sum of interior-cell areas).
     pub clbs: u32,
@@ -269,7 +276,8 @@ pub struct Stats {
 ///
 /// Construct with [`HypergraphBuilder`](crate::HypergraphBuilder); the
 /// structure is immutable afterwards.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hypergraph {
     pub(crate) cells: Vec<Cell>,
     pub(crate) nets: Vec<Net>,
@@ -302,6 +310,19 @@ impl Hypergraph {
     /// Panics if the id is out of range.
     pub fn net(&self, id: NetId) -> &Net {
         &self.nets[id.index()]
+    }
+
+    /// The cell with the given id, or `None` if out of range — the
+    /// non-panicking form of [`cell`](Self::cell) for ids that come
+    /// from outside the graph's own iterators.
+    pub fn try_cell(&self, id: CellId) -> Option<&Cell> {
+        self.cells.get(id.index())
+    }
+
+    /// The net with the given id, or `None` if out of range — the
+    /// non-panicking form of [`net`](Self::net).
+    pub fn try_net(&self, id: NetId) -> Option<&Net> {
+        self.nets.get(id.index())
     }
 
     /// Number of cells (including terminals).

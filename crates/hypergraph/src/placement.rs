@@ -12,12 +12,12 @@
 //! [`AdjacencyMatrix`]: crate::AdjacencyMatrix
 
 use crate::graph::{CellId, Hypergraph, NetId, Pin};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// Identifier of a part (one device of the k-way partition).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PartId(pub u16);
 
 impl PartId {
@@ -40,7 +40,8 @@ impl fmt::Display for PartId {
 pub type OutputMask = u32;
 
 /// One copy of a cell: the part it sits in and the outputs it keeps.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CellCopy {
     /// The part hosting this copy.
     pub part: PartId,
@@ -107,7 +108,8 @@ impl Error for PlacementError {}
 /// [`cut_size`]: Self::cut_size
 /// [`part_terminals`]: Self::part_terminals
 /// [`part_area`]: Self::part_area
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Placement {
     n_parts: usize,
     copies: Vec<Vec<CellCopy>>,

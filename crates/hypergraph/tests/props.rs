@@ -1,5 +1,9 @@
 //! Property tests for the hypergraph primitives: bit vectors, adjacency
 //! matrices and the replication potential.
+//!
+//! Gated behind the `proptest-tests` feature: `proptest` is a registry
+//! dependency and the default build must stay hermetic (see Cargo.toml).
+#![cfg(feature = "proptest-tests")]
 
 use netpart_hypergraph::{AdjacencyMatrix, BitVec};
 use proptest::prelude::*;

@@ -2,7 +2,6 @@
 //! support and aggregate statistics.
 
 use crate::model::{Driver, GateId, Netlist, NetlistError, SignalId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Returns the gates in a topological order of their *combinational*
@@ -108,7 +107,8 @@ pub fn transitive_support(nl: &Netlist, signal: SignalId) -> BTreeSet<SignalId> 
 }
 
 /// Aggregate netlist statistics.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetlistStats {
     /// Total gate count, including DFFs.
     pub gates: usize,

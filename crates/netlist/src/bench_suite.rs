@@ -18,10 +18,10 @@
 
 use crate::generate::{generate, GeneratorConfig};
 use crate::model::Netlist;
-use serde::{Deserialize, Serialize};
 
 /// Generation parameters for one named benchmark.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BenchSpec {
     /// Benchmark name (matching the paper's tables).
     pub name: &'static str,

@@ -25,7 +25,12 @@ pub enum ParseBlifError {
         source: NetlistError,
     },
     /// An `.outputs` signal was never defined.
-    UnknownOutput(String),
+    UnknownOutput {
+        /// 1-based source line of the `.outputs` directive naming it.
+        line: usize,
+        /// The undefined signal name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ParseBlifError {
@@ -35,7 +40,9 @@ impl fmt::Display for ParseBlifError {
                 write!(f, "line {line}: malformed directive: {what}")
             }
             ParseBlifError::Netlist { line, source } => write!(f, "line {line}: {source}"),
-            ParseBlifError::UnknownOutput(n) => write!(f, "unknown output signal {n:?}"),
+            ParseBlifError::UnknownOutput { line, name } => {
+                write!(f, "line {line}: unknown output signal {name:?}")
+            }
         }
     }
 }
@@ -211,7 +218,10 @@ pub fn parse_blif(src: &str) -> Result<Netlist, ParseBlifError> {
     for (line, name) in outputs {
         let sig = nl
             .signal_by_name(&name)
-            .ok_or_else(|| ParseBlifError::UnknownOutput(name.clone()))?;
+            .ok_or_else(|| ParseBlifError::UnknownOutput {
+                line,
+                name: name.clone(),
+            })?;
         nl.add_primary_output(sig)
             .map_err(|source| ParseBlifError::Netlist { line, source })?;
     }
@@ -355,8 +365,51 @@ c
         let src = ".model t\n.inputs a\n.outputs zz\n.end\n";
         assert_eq!(
             parse_blif(src).unwrap_err(),
-            ParseBlifError::UnknownOutput("zz".into())
+            ParseBlifError::UnknownOutput {
+                line: 3,
+                name: "zz".into()
+            }
         );
+    }
+
+    #[test]
+    fn duplicate_input_signal_reported_with_line() {
+        let src = ".model t\n.inputs a\n.inputs a\n.end\n";
+        match parse_blif(src).unwrap_err() {
+            ParseBlifError::Netlist { line, source } => {
+                assert_eq!(line, 3);
+                assert!(matches!(source, NetlistError::DuplicateSignalName(_)));
+            }
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn empty_names_rejected_with_line() {
+        let src = ".model t\n.inputs a\n.names\n.end\n";
+        assert!(matches!(
+            parse_blif(src).unwrap_err(),
+            ParseBlifError::Malformed { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_latch_rejected_with_line() {
+        let src = ".model t\n.inputs d\n.latch d\n.end\n";
+        assert!(matches!(
+            parse_blif(src).unwrap_err(),
+            ParseBlifError::Malformed { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn dangling_names_output_feeding_nothing_still_parses() {
+        // A `.names` whose output drives nothing is legal BLIF; only
+        // undriven `.outputs` are an error.
+        let src = ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a w\n0 1\n.end\n";
+        let nl = parse_blif(src).unwrap();
+        assert_eq!(nl.n_gates(), 2);
+        nl.validate().unwrap();
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! `clustering` knob reproduces that contrast.
 
 use crate::model::{GateKind, Netlist, SignalId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use netpart_rng::Rng;
 
 /// Parameters of the synthetic circuit generator.
 ///
@@ -28,7 +26,8 @@ use serde::{Deserialize, Serialize};
 /// );
 /// assert_eq!(nl.n_dffs(), 40);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneratorConfig {
     /// Number of combinational gates (excluding DFFs).
     pub n_gates: usize,
@@ -124,7 +123,7 @@ pub fn generate(cfg: &GeneratorConfig) -> Netlist {
         cfg.n_pi + cfg.n_dff > 0,
         "generator needs at least one primary input or flip-flop"
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut nl = Netlist::new("synthetic");
 
     let mut pool: Vec<SignalId> = Vec::new();
@@ -154,9 +153,9 @@ pub fn generate(cfg: &GeneratorConfig) -> Netlist {
     // wiring locally, which is how the ISCAS'89-style circuits differ
     // from the combinational ones in the paper's experiments.
     let alpha = 0.6 + 2.2 * cfg.clustering;
-    let pick = |rng: &mut StdRng, pool: &[SignalId], uses: &mut [u32]| -> SignalId {
+    let pick = |rng: &mut Rng, pool: &[SignalId], uses: &mut [u32]| -> SignalId {
         let n = pool.len();
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = rng.gen_f64_open();
         let d = (u.powf(-1.0 / alpha)).floor() as usize; // Pareto, d_min = 1
         let idx = n.saturating_sub(d.clamp(1, n));
         // Bias toward an unused signal in the same neighbourhood so few
@@ -178,7 +177,7 @@ pub fn generate(cfg: &GeneratorConfig) -> Netlist {
         let k = match rng.gen_range(0..10) {
             0..=4 => 2,
             5..=7 => 3.min(k_max),
-            _ => k_max.min(4).max(2),
+            _ => k_max.clamp(2, 4),
         }
         .min(k_max)
         .max(if pool.len() >= 2 { 2 } else { 1 });

@@ -19,7 +19,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 mod stats;
@@ -27,7 +26,8 @@ mod stats;
 pub use stats::{mean, Summary};
 
 /// A titled table with a header row and data rows.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table {
     title: String,
     headers: Vec<String>,

@@ -1,6 +1,5 @@
 //! Small statistics helpers for experiment aggregation.
 
-use serde::{Deserialize, Serialize};
 
 /// Mean of a slice (NaN when empty).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -11,7 +10,8 @@ pub fn mean(xs: &[f64]) -> f64 {
 }
 
 /// Five-number-ish summary of a sample.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{name}: {} CLBs, {} IOBs, {} nets", s.clbs, s.iobs, s.nets);
 
     let base = BipartitionConfig::equal(&hg, 0.1).with_seed(7);
-    let plain = run_many(&hg, &base, runs);
+    let plain = run_many(&hg, &base, runs)?;
     println!(
         "F-M min-cut:            best {:4}  avg {:7.1}",
         plain.best_cut(),
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &hg,
         &base.clone().with_replication(ReplicationMode::functional(0)),
         runs,
-    );
+    )?;
     println!(
         "+ functional repl (T=0): best {:4}  avg {:7.1}  ({:.1} cells replicated on avg)",
         func.best_cut(),
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &hg,
         &base.clone().with_replication(ReplicationMode::Traditional),
         runs,
-    );
+    )?;
     println!(
         "+ traditional repl:      best {:4}  avg {:7.1}  ({:.1} cells replicated on avg)",
         trad.best_cut(),
@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &hg,
             &base.clone().with_replication(ReplicationMode::functional(t)),
             runs,
-        );
+        )?;
         println!(
             "  T = {t}: avg cut {:7.1}, avg replicated cells {:5.1}",
             r.avg_cut(),

@@ -5,12 +5,29 @@
 //! netpart stats       <file.blif>
 //! netpart bipartition <file.blif> [--replication none|traditional|functional]
 //!                     [--threshold T] [--runs N] [--epsilon E] [--seed S]
+//!                     [--budget-ms MS]
 //! netpart kway        <file.blif> [--replication none|functional] [--threshold T]
-//!                     [--candidates N] [--seed S] [--refine] [--assign out.csv]
+//!                     [--candidates N] [--max-attempts N] [--seed S] [--refine]
+//!                     [--budget-ms MS] [--assign out.csv]
 //! ```
 //!
 //! Generated circuits can be exported for experimentation with
 //! `netpart synth <gates> [out.blif]`.
+//!
+//! # Exit codes
+//!
+//! * `0` — success, including *degraded* results (budget ran out or the
+//!   k-way escalation ladder relaxed constraints; a `note:` line on
+//!   stderr describes the degradation).
+//! * `1` — I/O or BLIF parse failure.
+//! * `2` — usage error or invalid input
+//!   ([`PartitionError::InvalidInput`]).
+//! * `3` — infeasible under the device library
+//!   ([`PartitionError::InfeasibleLibrary`]).
+//! * `4` — budget exhausted with no usable solution
+//!   ([`PartitionError::BudgetExhausted`]).
+//! * `5` — internal invariant violation, i.e. a bug
+//!   ([`PartitionError::InternalInvariant`]).
 
 use netpart::core::{refine_kway, unreplicate_cleanup};
 use netpart::prelude::*;
@@ -19,7 +36,7 @@ use std::fmt::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--seed S] [--refine] [--assign out.csv]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
     );
     std::process::exit(2)
 }
@@ -31,6 +48,8 @@ struct Flags {
     epsilon: f64,
     seed: u64,
     candidates: usize,
+    max_attempts: Option<usize>,
+    budget_ms: Option<u64>,
     refine: bool,
     assign: Option<String>,
     dff: usize,
@@ -44,6 +63,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         epsilon: 0.1,
         seed: 1,
         candidates: 10,
+        max_attempts: None,
+        budget_ms: None,
         refine: false,
         assign: None,
         dff: 0,
@@ -60,6 +81,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--epsilon" => f.epsilon = val()?.parse()?,
             "--seed" => f.seed = val()?.parse()?,
             "--candidates" => f.candidates = val()?.parse()?,
+            "--max-attempts" => f.max_attempts = Some(val()?.parse()?),
+            "--budget-ms" => f.budget_ms = Some(val()?.parse()?),
             "--dff" => f.dff = val()?.parse()?,
             "--refine" => f.refine = true,
             "--assign" => f.assign = Some(val()?.clone()),
@@ -67,6 +90,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         }
     }
     Ok(f)
+}
+
+fn budget_of(f: &Flags) -> Budget {
+    match f.budget_ms {
+        Some(ms) => Budget::wall_ms(ms),
+        None => Budget::none(),
+    }
 }
 
 fn load(path: &str) -> Result<(Netlist, Hypergraph), Box<dyn Error>> {
@@ -86,6 +116,14 @@ fn mode_of(f: &Flags) -> Result<ReplicationMode, Box<dyn Error>> {
         "functional" => ReplicationMode::functional(f.threshold),
         other => return Err(format!("unknown replication mode {other:?}").into()),
     })
+}
+
+/// Prints a degradation notice to stderr when the result deviates from
+/// what was requested; degraded results still exit 0.
+fn note_degradation(d: &Degradation) {
+    if d.is_degraded() {
+        eprintln!("note: {d}");
+    }
 }
 
 fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
@@ -122,19 +160,21 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
     let (_, hg) = load(path)?;
     let cfg = BipartitionConfig::equal(&hg, f.epsilon)
         .with_seed(f.seed)
-        .with_replication(mode_of(f)?);
-    let stats = run_many(&hg, &cfg, f.runs.max(1));
+        .with_replication(mode_of(f)?)
+        .with_budget(budget_of(f));
+    let stats = run_many(&hg, &cfg, f.runs.max(1))?;
+    note_degradation(&stats.degradation);
     println!(
         "{} runs: best cut {}, avg cut {:.1}, avg replicated cells {:.1}",
-        f.runs,
+        stats.results.len(),
         stats.best_cut(),
         stats.avg_cut(),
         stats.avg_replicated()
     );
     let best = stats.best();
     println!(
-        "best run: areas {:?}, {} passes, balanced: {}",
-        best.areas, best.passes, best.balanced
+        "best run: areas {:?}, {} passes, balanced: {}, stop: {}",
+        best.areas, best.passes, best.balanced, best.stop
     );
     Ok(())
 }
@@ -142,17 +182,22 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
 fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
     let (_, hg) = load(path)?;
     let lib = DeviceLibrary::xc3000();
-    let cfg = KWayConfig::new(lib.clone())
+    let mut cfg = KWayConfig::new(lib.clone())
         .with_candidates(f.candidates)
         .with_seed(f.seed)
         .with_max_passes(8)
+        .with_budget(budget_of(f))
         .with_replication(match mode_of(f)? {
             ReplicationMode::Traditional => {
                 return Err("k-way does not support traditional replication".into())
             }
             m => m,
         });
+    if let Some(n) = f.max_attempts {
+        cfg = cfg.with_max_attempts(n);
+    }
     let mut res = kway_partition(&hg, &cfg)?;
+    note_degradation(&res.degradation);
     if f.refine {
         let n = unreplicate_cleanup(&hg, &mut res.placement, &res.devices, &lib);
         let st = refine_kway(&hg, &mut res.placement, &res.devices, &lib, 4);
@@ -244,6 +289,9 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        let code = e
+            .downcast_ref::<PartitionError>()
+            .map_or(1, PartitionError::exit_code);
+        std::process::exit(code);
     }
 }

@@ -54,7 +54,8 @@ pub use netpart_techmap as techmap;
 /// The most common items, importable in one line.
 pub mod prelude {
     pub use netpart_core::{
-        bipartition, kway_partition, run_many, BipartitionConfig, KWayConfig, ReplicationMode,
+        bipartition, kway_partition, run_many, BipartitionConfig, Budget, Degradation, FaultPlan,
+        KWayConfig, PartitionError, Relaxation, ReplicationMode, StopReason,
     };
     pub use netpart_fpga::{assign_devices, evaluate, Device, DeviceLibrary};
     pub use netpart_hypergraph::{

@@ -1,6 +1,10 @@
 //! Property tests: the paper's closed-form gain model (§III, eqs. 7–11)
 //! must agree exactly with the engine's cut-delta computation, on random
 //! mapped circuits and random placements.
+//!
+//! Gated behind the `proptest-tests` feature: `proptest` is a registry
+//! dependency and the default build must stay hermetic (see Cargo.toml).
+#![cfg(feature = "proptest-tests")]
 
 use netpart::core::gain::{
     best_functional_gain, extract_vectors, functional_gain, single_move_gain, traditional_gain,
