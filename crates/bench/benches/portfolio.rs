@@ -1,0 +1,50 @@
+//! Criterion bench for the parallel portfolio engine: the same
+//! 20-start FM portfolio at increasing `--jobs` levels, so the
+//! speedup (and the single-thread overhead of the engine versus the
+//! sequential `run_many` harness) can be measured on real hardware.
+//!
+//! The determinism contract means every jobs level computes the same
+//! best solution — the bench measures pure wall-clock scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_core::{run_many, BipartitionConfig, ReplicationMode};
+use netpart_engine::portfolio_bipartition;
+use netpart_netlist::bench_suite;
+use netpart_techmap::{map, MapperConfig};
+
+fn bench_portfolio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio_bipartition");
+    group.sample_size(10);
+    let nl = bench_suite::build_scaled("c3540", 2).expect("known benchmark");
+    let hg = map(&nl, &MapperConfig::xc3000())
+        .expect("maps")
+        .to_hypergraph(&nl);
+    let label = format!("c3540/{}clb", hg.stats().clbs);
+    let cfg = BipartitionConfig::equal(&hg, 0.1)
+        .with_seed(1)
+        .with_replication(ReplicationMode::functional(0));
+    const STARTS: usize = 20;
+
+    group.bench_with_input(
+        BenchmarkId::new("sequential_run_many", &label),
+        &hg,
+        |b, hg| b.iter(|| run_many(hg, &cfg, STARTS).expect("satisfiable").best_cut()),
+    );
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("jobs{jobs}"), &label),
+            &hg,
+            |b, hg| {
+                b.iter(|| {
+                    portfolio_bipartition(hg, &cfg, STARTS, jobs)
+                        .expect("satisfiable")
+                        .best_cut()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

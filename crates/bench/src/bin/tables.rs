@@ -116,19 +116,31 @@ fn main() {
         }
         if want("table3") {
             eprintln!("running Table III ({} runs per circuit) ...", opts.runs);
-            let (t, _) = table3(&s, opts.runs);
-            emit(&t, &opts.out, "table3.csv");
+            match table3(&s, opts.runs) {
+                Ok((t, _)) => emit(&t, &opts.out, "table3.csv"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         if want("table4") {
             eprintln!(
                 "running Tables IV–VII ({} feasible partitions per run) ...",
                 opts.candidates
             );
-            let (t4, t5, t6, t7, _) = tables_4_to_7(&s, opts.candidates, 2024);
-            emit(&t4, &opts.out, "table4.csv");
-            emit(&t5, &opts.out, "table5.csv");
-            emit(&t6, &opts.out, "table6.csv");
-            emit(&t7, &opts.out, "table7.csv");
+            match tables_4_to_7(&s, opts.candidates, 2024) {
+                Ok((t4, t5, t6, t7, _)) => {
+                    emit(&t4, &opts.out, "table4.csv");
+                    emit(&t5, &opts.out, "table5.csv");
+                    emit(&t6, &opts.out, "table6.csv");
+                    emit(&t7, &opts.out, "table7.csv");
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
     if !matched {

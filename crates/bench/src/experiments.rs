@@ -1,14 +1,82 @@
 //! The paper's experiments (§IV), one driver per exhibit.
 
 use netpart_core::{
-    kway_partition, run_many, BipartitionConfig, KWayConfig, ReplicationMode,
+    kway_partition, run_many, BipartitionConfig, KWayConfig, PartitionError, ReplicationMode,
 };
 use netpart_fpga::DeviceLibrary;
 use netpart_hypergraph::Hypergraph;
 use netpart_netlist::bench_suite;
 use netpart_report::{f1, f2, pct, Table};
 use netpart_techmap::{map, MapperConfig};
+use std::fmt;
 use std::time::Instant;
+
+/// A typed failure of an experiment driver. Every way a driver can go
+/// wrong — an unknown circuit name, a mapping failure, an infeasible
+/// partitioning run — is represented here instead of panicking, so the
+/// `tables` binary (and any other harness) can report the failure and
+/// exit cleanly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A requested benchmark name is not in the suite.
+    UnknownCircuit {
+        /// The offending name.
+        name: String,
+        /// The valid names, comma-separated.
+        expected: String,
+    },
+    /// Technology mapping failed for a circuit.
+    MappingFailed {
+        /// The circuit being mapped.
+        name: String,
+        /// The mapper's message.
+        reason: String,
+    },
+    /// A partitioning run inside an experiment failed.
+    PartitionFailed {
+        /// The circuit being partitioned.
+        name: String,
+        /// The underlying typed error.
+        source: PartitionError,
+    },
+    /// An experiment's bookkeeping lost a record it just produced
+    /// (an internal invariant violation, reported instead of unwrapped).
+    MissingRecord {
+        /// The circuit whose record is missing.
+        name: String,
+        /// The replication threshold of the missing record.
+        threshold: Option<u32>,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnknownCircuit { name, expected } => {
+                write!(f, "unknown benchmark {name:?} (expected one of: {expected})")
+            }
+            ExperimentError::MappingFailed { name, reason } => {
+                write!(f, "technology mapping failed for {name}: {reason}")
+            }
+            ExperimentError::PartitionFailed { name, source } => {
+                write!(f, "partitioning {name} failed: {source}")
+            }
+            ExperimentError::MissingRecord { name, threshold } => write!(
+                f,
+                "internal: no record for circuit {name} at threshold {threshold:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::PartitionFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Builds and technology-maps the benchmark suite.
 ///
@@ -17,15 +85,14 @@ use std::time::Instant;
 ///
 /// # Errors
 ///
-/// Returns the offending name if a requested circuit is unknown.
-///
-/// # Panics
-///
-/// Panics if mapping fails (the generated suite always maps).
+/// [`ExperimentError::UnknownCircuit`] for a name outside the suite,
+/// [`ExperimentError::MappingFailed`] if technology mapping rejects a
+/// circuit (the generated suite always maps, but scaled variants are
+/// checked rather than assumed).
 pub fn try_suite(
     scale_down: usize,
     names: &[&str],
-) -> Result<Vec<(String, Hypergraph)>, String> {
+) -> Result<Vec<(String, Hypergraph)>, ExperimentError> {
     let selected: Vec<&str> = if names.is_empty() {
         bench_suite::names().collect()
     } else {
@@ -39,13 +106,15 @@ pub fn try_suite(
             } else {
                 bench_suite::build_scaled(name, scale_down)
             }
-            .ok_or_else(|| {
-                format!(
-                    "unknown benchmark {name:?} (expected one of: {})",
-                    bench_suite::names().collect::<Vec<_>>().join(", ")
-                )
+            .ok_or_else(|| ExperimentError::UnknownCircuit {
+                name: (*name).to_string(),
+                expected: bench_suite::names().collect::<Vec<_>>().join(", "),
             })?;
-            let mapped = map(&nl, &MapperConfig::xc3000()).expect("suite maps cleanly");
+            let mapped =
+                map(&nl, &MapperConfig::xc3000()).map_err(|e| ExperimentError::MappingFailed {
+                    name: (*name).to_string(),
+                    reason: e.to_string(),
+                })?;
             Ok(((*name).to_string(), mapped.to_hypergraph(&nl)))
         })
         .collect()
@@ -180,10 +249,24 @@ impl Table3Record {
 /// Runs the Table III experiment on one circuit: `runs` equal-halves
 /// bipartitions (±10 % area, terminals relaxed) with and without
 /// functional replication at `T = 0`.
-pub fn table3_record(name: &str, hg: &Hypergraph, runs: usize) -> Table3Record {
+///
+/// # Errors
+///
+/// [`ExperimentError::PartitionFailed`] if either run set fails — the
+/// equal-halves bounds are satisfiable for every suite circuit, but a
+/// caller-supplied hypergraph gets a typed error, not a panic.
+pub fn table3_record(
+    name: &str,
+    hg: &Hypergraph,
+    runs: usize,
+) -> Result<Table3Record, ExperimentError> {
+    let fail = |source: PartitionError| ExperimentError::PartitionFailed {
+        name: name.to_string(),
+        source,
+    };
     let base = BipartitionConfig::equal(hg, 0.1).with_seed(1000);
     let t0 = Instant::now();
-    let plain = run_many(hg, &base, runs).expect("equal-halves bounds are satisfiable");
+    let plain = run_many(hg, &base, runs).map_err(fail)?;
     let plain_secs = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let repl = run_many(
@@ -191,9 +274,9 @@ pub fn table3_record(name: &str, hg: &Hypergraph, runs: usize) -> Table3Record {
         &base.clone().with_replication(ReplicationMode::functional(0)),
         runs,
     )
-    .expect("equal-halves bounds are satisfiable");
+    .map_err(fail)?;
     let repl_secs = t0.elapsed().as_secs_f64();
-    Table3Record {
+    Ok(Table3Record {
         name: name.to_string(),
         plain_best: plain.best_cut(),
         plain_avg: plain.avg_cut(),
@@ -202,12 +285,20 @@ pub fn table3_record(name: &str, hg: &Hypergraph, runs: usize) -> Table3Record {
         repl_cells: repl.avg_replicated(),
         plain_secs,
         repl_secs,
-    }
+    })
 }
 
 /// Table III: best/average cut of FM min-cut vs FM + functional
 /// replication over `runs` randomized bipartitions per circuit.
-pub fn table3(suite: &[(String, Hypergraph)], runs: usize) -> (Table, Vec<Table3Record>) {
+///
+/// # Errors
+///
+/// Propagates the first [`ExperimentError`] from
+/// [`table3_record`].
+pub fn table3(
+    suite: &[(String, Hypergraph)],
+    runs: usize,
+) -> Result<(Table, Vec<Table3Record>), ExperimentError> {
     let mut t = Table::new(
         format!("Table III — cutset size over {runs} runs (equal halves, T = 0)"),
         &[
@@ -217,7 +308,7 @@ pub fn table3(suite: &[(String, Hypergraph)], runs: usize) -> (Table, Vec<Table3
     );
     let mut records = Vec::new();
     for (name, hg) in suite {
-        let r = table3_record(name, hg, runs);
+        let r = table3_record(name, hg, runs)?;
         t.row([
             r.name.clone(),
             r.plain_best.to_string(),
@@ -231,6 +322,11 @@ pub fn table3(suite: &[(String, Hypergraph)], runs: usize) -> (Table, Vec<Table3
         ]);
         records.push(r);
     }
+    finish_table3(&mut t, &records);
+    Ok((t, records))
+}
+
+fn finish_table3(t: &mut Table, records: &[Table3Record]) {
     if !records.is_empty() {
         let m = |f: &dyn Fn(&Table3Record) -> f64| {
             records.iter().map(f).sum::<f64>() / records.len() as f64
@@ -247,7 +343,6 @@ pub fn table3(suite: &[(String, Hypergraph)], runs: usize) -> (Table, Vec<Table3
             pct(m(&|r| r.repl_secs / r.plain_secs.max(1e-9) - 1.0)),
         ]);
     }
-    (t, records)
 }
 
 /// One circuit × one threshold of the k-way experiment.
@@ -341,20 +436,29 @@ fn fmt_or_dash(feasible: bool, s: String) -> String {
 /// percentage and CPU (IV), average CLB utilization (V), total device
 /// cost (VI) and average IOB utilization (VII), each for the
 /// no-replication baseline and `T = 0, 1, 2, 3`.
+///
+/// # Errors
+///
+/// [`ExperimentError::MissingRecord`] if the experiment bookkeeping
+/// lost a `(circuit, threshold)` record — an internal invariant
+/// reported as a typed error rather than unwrapped.
 pub fn tables_4_to_7(
     suite: &[(String, Hypergraph)],
     candidates: usize,
     seed: u64,
-) -> (Table, Table, Table, Table, Vec<KWayRecord>) {
+) -> Result<(Table, Table, Table, Table, Vec<KWayRecord>), ExperimentError> {
     let thresholds = [None, Some(0), Some(1), Some(2), Some(3)];
     let mut all = Vec::new();
     for (name, hg) in suite {
         all.extend(kway_experiment(name, hg, &thresholds, candidates, seed));
     }
-    let by = |name: &str, th: Option<u32>| -> &KWayRecord {
+    let by = |name: &str, th: Option<u32>| -> Result<&KWayRecord, ExperimentError> {
         all.iter()
             .find(|r| r.name == name && r.threshold == th)
-            .expect("record exists")
+            .ok_or_else(|| ExperimentError::MissingRecord {
+                name: name.to_string(),
+                threshold: th,
+            })
     };
 
     let mut t4 = Table::new(
@@ -375,16 +479,15 @@ pub fn tables_4_to_7(
     );
 
     for (name, _) in suite {
-        let base = by(name, None);
-        t4.row([
-            name.clone(),
-            fmt_or_dash(by(name, Some(0)).feasible, pct(by(name, Some(0)).replicated_frac)),
-            fmt_or_dash(by(name, Some(1)).feasible, pct(by(name, Some(1)).replicated_frac)),
-            fmt_or_dash(by(name, Some(2)).feasible, pct(by(name, Some(2)).replicated_frac)),
-            fmt_or_dash(by(name, Some(3)).feasible, pct(by(name, Some(3)).replicated_frac)),
-            f1(by(name, Some(3)).secs),
-            f1(base.secs),
-        ]);
+        let base = by(name, None)?;
+        let mut row4 = vec![name.clone()];
+        for t in [0u32, 1, 2, 3] {
+            let r = by(name, Some(t))?;
+            row4.push(fmt_or_dash(r.feasible, pct(r.replicated_frac)));
+        }
+        row4.push(f1(by(name, Some(3))?.secs));
+        row4.push(f1(base.secs));
+        t4.row(row4);
         let mut row5 = vec![name.clone(), fmt_or_dash(base.feasible, pct(base.clb_util))];
         let mut row6 = vec![
             name.clone(),
@@ -392,7 +495,7 @@ pub fn tables_4_to_7(
         ];
         let mut row7 = vec![name.clone(), fmt_or_dash(base.feasible, pct(base.iob_util))];
         for t in [1u32, 2, 3] {
-            let r = by(name, Some(t));
+            let r = by(name, Some(t))?;
             let ok = r.feasible && base.feasible;
             row5.push(fmt_or_dash(r.feasible, pct(r.clb_util)));
             row5.push(fmt_or_dash(ok, pct(r.clb_util - base.clb_util)));
@@ -408,7 +511,7 @@ pub fn tables_4_to_7(
         t6.row(row6);
         t7.row(row7);
     }
-    (t4, t5, t6, t7, all)
+    Ok((t4, t5, t6, t7, all))
 }
 
 #[cfg(test)]
@@ -442,7 +545,7 @@ mod tests {
             let total: f64 = line
                 .split(',')
                 .skip(1)
-                .map(|v| v.parse::<f64>().unwrap())
+                .map(|v| v.parse::<f64>().expect("numeric cell"))
                 .sum();
             assert!((total - 100.0).abs() < 0.5, "row sums to {total}");
         }
@@ -451,11 +554,18 @@ mod tests {
     #[test]
     fn table3_reduces_cut() {
         let s = tiny_suite();
-        let (t, records) = table3(&s, 3);
+        let (t, records) = table3(&s, 3).expect("suite circuits are satisfiable");
         assert_eq!(t.n_rows(), 3); // 2 circuits + Avg.
         for r in &records {
             assert!(r.repl_avg <= r.plain_avg, "{r:?}");
         }
+    }
+
+    #[test]
+    fn errors_are_typed_and_printable() {
+        let err = try_suite(1, &["nonesuch"]).expect_err("unknown circuit");
+        assert!(matches!(err, ExperimentError::UnknownCircuit { .. }));
+        assert!(err.to_string().contains("nonesuch"));
     }
 
     #[test]

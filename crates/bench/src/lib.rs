@@ -11,6 +11,6 @@
 pub mod experiments;
 
 pub use experiments::{
-    figure3, kway_experiment, suite, table1, table2, table3, tables_4_to_7, try_suite,
-    KWayRecord, Table3Record,
+    figure3, kway_experiment, suite, table1, table2, table3, table3_record, tables_4_to_7,
+    try_suite, ExperimentError, KWayRecord, Table3Record,
 };

@@ -12,6 +12,8 @@
 use crate::error::StopReason;
 use crate::fault::FaultPlan;
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Wall-clock moves are only sampled every this many applied moves;
@@ -72,6 +74,40 @@ impl Budget {
     }
 }
 
+/// A cooperative cancellation flag shared between the threads of a
+/// parallel portfolio.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag. A [`RunClock`] built with [`RunClock::with_shared`] polls the
+/// token on its wall-check path and latches
+/// [`StopReason::Cancelled`] once it is set, so an in-flight FM run
+/// drains at its next checkpoint (at most [`WALL_CHECK_STRIDE`] moves
+/// later) instead of running to completion.
+///
+/// Cancellation is one-way: there is no `reset`. A portfolio that wants
+/// a fresh flag makes a fresh token.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
 /// The runtime clock of one driver invocation: counts work, watches the
 /// [`Budget`] deadline and the [`FaultPlan`], and latches the first
 /// [`StopReason`] it observes.
@@ -89,6 +125,7 @@ pub struct RunClock {
     attempts: Cell<u64>,
     stopped: Cell<Option<StopReason>>,
     budget: Budget,
+    cancel: Option<CancelToken>,
 }
 
 impl RunClock {
@@ -105,6 +142,37 @@ impl RunClock {
             attempts: Cell::new(0),
             stopped: Cell::new(None),
             budget: budget.clone(),
+            cancel: None,
+        }
+    }
+
+    /// Starts a clock whose wall deadline is an explicit [`Instant`]
+    /// shared with other clocks (rather than `now + budget.wall_ms`),
+    /// and that additionally drains when `cancel` fires.
+    ///
+    /// This is the portfolio-engine constructor: every worker's clock
+    /// points at the *same* deadline so "the budget tripped" means the
+    /// same thing on every thread, and a worker that observes the trip
+    /// first can [`CancelToken::cancel`] the rest. `budget.wall_ms` is
+    /// kept only for [`RunClock::budget`] error messages; the effective
+    /// deadline is the one passed here (`None` = no wall limit). The
+    /// `max_moves` limit still applies to this clock alone.
+    pub fn with_shared(
+        budget: &Budget,
+        fault: &FaultPlan,
+        deadline: Option<Instant>,
+        cancel: Option<CancelToken>,
+    ) -> Self {
+        RunClock {
+            deadline,
+            max_moves: budget.max_moves,
+            fault: fault.clone(),
+            moves: Cell::new(0),
+            passes: Cell::new(0),
+            attempts: Cell::new(0),
+            stopped: Cell::new(None),
+            budget: budget.clone(),
+            cancel,
         }
     }
 
@@ -193,6 +261,13 @@ impl RunClock {
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             return Some(self.trip(StopReason::BudgetExhausted));
         }
+        if self
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            return Some(self.trip(StopReason::Cancelled));
+        }
         None
     }
 }
@@ -239,6 +314,45 @@ mod tests {
         assert_eq!(c.tick_move(), None);
         assert_eq!(c.tick_move(), None);
         assert_eq!(c.tick_move(), Some(StopReason::FaultInjected));
+    }
+
+    #[test]
+    fn cancel_token_drains_a_shared_clock() {
+        let token = CancelToken::new();
+        let c = RunClock::with_shared(&Budget::none(), &FaultPlan::none(), None, Some(token.clone()));
+        assert_eq!(c.check_wall(), None);
+        token.cancel();
+        assert!(token.is_cancelled());
+        // Every clone observes the same flag.
+        assert!(token.clone().is_cancelled());
+        assert_eq!(c.check_wall(), Some(StopReason::Cancelled));
+        // Latched like any other stop condition.
+        assert_eq!(c.tick_move(), Some(StopReason::Cancelled));
+        assert_eq!(c.stopped(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn shared_deadline_overrides_budget_wall() {
+        // budget says 0ms, but the explicit deadline is far away: the
+        // shared deadline wins.
+        let far = Instant::now() + Duration::from_secs(3600);
+        let c = RunClock::with_shared(&Budget::wall_ms(0), &FaultPlan::none(), Some(far), None);
+        assert_eq!(c.check_wall(), None);
+        // And an already-expired shared deadline trips immediately.
+        let c = RunClock::with_shared(&Budget::none(), &FaultPlan::none(), Some(Instant::now()), None);
+        assert_eq!(c.check_wall(), Some(StopReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn shared_clock_still_enforces_move_budget() {
+        let c = RunClock::with_shared(
+            &Budget::none().with_max_moves(2),
+            &FaultPlan::none(),
+            None,
+            None,
+        );
+        assert_eq!(c.tick_move(), None);
+        assert_eq!(c.tick_move(), Some(StopReason::BudgetExhausted));
     }
 
     #[test]

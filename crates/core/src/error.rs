@@ -150,6 +150,10 @@ pub enum StopReason {
     BudgetExhausted,
     /// An injected fault (test harness) aborted the run.
     FaultInjected,
+    /// A cooperative cancellation request (another worker in a parallel
+    /// portfolio tripped the shared budget or made further work
+    /// pointless) stopped the run.
+    Cancelled,
 }
 
 impl fmt::Display for StopReason {
@@ -159,6 +163,7 @@ impl fmt::Display for StopReason {
             StopReason::PassLimit => write!(f, "pass limit"),
             StopReason::BudgetExhausted => write!(f, "budget exhausted"),
             StopReason::FaultInjected => write!(f, "fault injected"),
+            StopReason::Cancelled => write!(f, "cancelled"),
         }
     }
 }

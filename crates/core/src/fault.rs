@@ -24,6 +24,16 @@ pub struct FaultPlan {
     pub kill_after_passes: Option<u64>,
     /// Report a fault once this many k-way carve attempts have started.
     pub kill_after_attempts: Option<u64>,
+    /// In a parallel portfolio, make the worker that claims this start
+    /// index die before running it (the start is lost, the worker's
+    /// thread exits early; the engine must still join cleanly and report
+    /// the shortfall).
+    pub kill_start: Option<u64>,
+    /// In a parallel portfolio, panic inside the worker thread that
+    /// claims this start index — exercising the engine's
+    /// catch-and-convert contract (a worker panic must surface as a
+    /// typed error or degraded result, never a process abort or hang).
+    pub panic_in_worker: Option<u64>,
 }
 
 impl FaultPlan {
@@ -37,6 +47,8 @@ impl FaultPlan {
         self.kill_after_moves.is_some()
             || self.kill_after_passes.is_some()
             || self.kill_after_attempts.is_some()
+            || self.kill_start.is_some()
+            || self.panic_in_worker.is_some()
     }
 
     /// Arms a kill after `n` applied FM moves.
@@ -56,6 +68,20 @@ impl FaultPlan {
         self.kill_after_attempts = Some(n);
         self
     }
+
+    /// Arms a worker death at portfolio start index `i` (engine-level
+    /// checkpoint; sequential drivers ignore it).
+    pub fn kill_start(mut self, i: u64) -> Self {
+        self.kill_start = Some(i);
+        self
+    }
+
+    /// Arms a deliberate panic in the worker that claims portfolio start
+    /// index `i` (engine-level checkpoint; sequential drivers ignore it).
+    pub fn panic_in_worker(mut self, i: u64) -> Self {
+        self.panic_in_worker = Some(i);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -68,9 +94,13 @@ mod tests {
         assert!(FaultPlan::none().kill_after_moves(1).is_armed());
         assert!(FaultPlan::none().kill_after_passes(2).is_armed());
         assert!(FaultPlan::none().kill_after_attempts(3).is_armed());
+        assert!(FaultPlan::none().kill_start(0).is_armed());
+        assert!(FaultPlan::none().panic_in_worker(1).is_armed());
         let p = FaultPlan::none().kill_after_moves(7).kill_after_attempts(9);
         assert_eq!(p.kill_after_moves, Some(7));
         assert_eq!(p.kill_after_passes, None);
         assert_eq!(p.kill_after_attempts, Some(9));
+        assert_eq!(p.kill_start, None);
+        assert_eq!(p.panic_in_worker, None);
     }
 }

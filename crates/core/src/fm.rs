@@ -271,9 +271,10 @@ pub fn bipartition(hg: &Hypergraph, cfg: &BipartitionConfig) -> BipartitionResul
 }
 
 /// [`bipartition`] against an externally owned [`RunClock`], so that
-/// multi-start and k-way drivers can enforce one budget across many
-/// bipartitions.
-pub(crate) fn bipartition_with_clock(
+/// multi-start, k-way and parallel-portfolio drivers can enforce one
+/// budget across many bipartitions (or share a deadline and
+/// [`CancelToken`](crate::CancelToken) across threads).
+pub fn bipartition_with_clock(
     hg: &Hypergraph,
     cfg: &BipartitionConfig,
     clock: &RunClock,

@@ -61,6 +61,14 @@ pub struct KWayConfig {
     /// [`unreplicate_cleanup`](crate::unreplicate_cleanup)) on the winning
     /// partition.
     pub refine: bool,
+    /// Whether the escalation ladder (reseed → relax floor → larger
+    /// devices) may climb when the base attempt pool finds nothing
+    /// feasible. `true` by default; the parallel portfolio engine turns
+    /// it off for its first phase so that a sibling task's feasible
+    /// result (the shared incumbent) can make the ladder unnecessary,
+    /// and only re-enables it in a dedicated rescue phase when *no* task
+    /// found anything.
+    pub escalate: bool,
     /// Work limits shared across every attempt and escalation rung; on
     /// exhaustion the best feasible partition found so far is returned
     /// (with [`KWayResult::degradation`] set), or
@@ -82,6 +90,7 @@ impl KWayConfig {
             seed: 0,
             max_passes: 8,
             refine: false,
+            escalate: true,
             budget: Budget::none(),
             fault: FaultPlan::none(),
         }
@@ -99,6 +108,13 @@ impl KWayConfig {
     /// Enables the post-carve multi-way refinement extension.
     pub fn with_refine(mut self, refine: bool) -> Self {
         self.refine = refine;
+        self
+    }
+
+    /// Enables or disables the escalation ladder (see
+    /// [`KWayConfig::escalate`]).
+    pub fn with_escalation(mut self, on: bool) -> Self {
+        self.escalate = on;
         self
     }
 
@@ -478,6 +494,20 @@ fn run_stage(
 /// * [`PartitionError::BudgetExhausted`] when the budget (or an injected
 ///   fault) trips before the first feasible partition exists.
 pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, PartitionError> {
+    let clock = RunClock::new(&cfg.budget, &cfg.fault);
+    kway_partition_with_clock(hg, cfg, &clock)
+}
+
+/// [`kway_partition`] against an externally owned [`RunClock`], so a
+/// parallel portfolio can share one wall deadline and
+/// [`CancelToken`](crate::CancelToken) across concurrently carving
+/// tasks. The clock's budget/fault plan (not `cfg.budget`/`cfg.fault`)
+/// is what is enforced here.
+pub fn kway_partition_with_clock(
+    hg: &Hypergraph,
+    cfg: &KWayConfig,
+    clock: &RunClock,
+) -> Result<KWayResult, PartitionError> {
     if hg.n_cells() == 0 {
         return Err(PartitionError::invalid_input(
             "cannot partition an empty hypergraph",
@@ -506,7 +536,6 @@ pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, P
         }
     }
 
-    let clock = RunClock::new(&cfg.budget, &cfg.fault);
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut best: Option<BestCandidate> = None;
     let mut degradation = Degradation {
@@ -524,7 +553,7 @@ pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, P
         &cfg.library,
         false,
         &mut rng,
-        &clock,
+        clock,
         cfg.max_attempts,
         0,
         &mut best,
@@ -532,10 +561,11 @@ pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, P
     attempts += s.attempts;
     feasible += s.feasible;
 
-    // The ladder only climbs while nothing feasible exists and work is
-    // still allowed; each rung is recorded whether or not it rescues the
-    // run, so the report shows everything that was tried.
-    if best.is_none() && clock.stopped().is_none() {
+    // The ladder only climbs while escalation is enabled, nothing
+    // feasible exists and work is still allowed; each rung is recorded
+    // whether or not it rescues the run, so the report shows everything
+    // that was tried.
+    if cfg.escalate && best.is_none() && clock.stopped().is_none() {
         degradation.relaxations.push(Relaxation::Reseeded {
             extra_attempts: cfg.max_attempts,
         });
@@ -546,7 +576,7 @@ pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, P
             &cfg.library,
             false,
             &mut rng2,
-            &clock,
+            clock,
             cfg.max_attempts,
             0,
             &mut best,
@@ -554,7 +584,7 @@ pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, P
         attempts += s.attempts;
         feasible += s.feasible;
     }
-    let relaxed = if best.is_none() && clock.stopped().is_none() {
+    let relaxed = if cfg.escalate && best.is_none() && clock.stopped().is_none() {
         degradation.relaxations.push(Relaxation::RelaxedFloor);
         floor_relaxed = true;
         let relaxed = cfg.library.relaxed_floor();
@@ -564,7 +594,7 @@ pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, P
             &relaxed,
             false,
             &mut rng,
-            &clock,
+            clock,
             cfg.max_attempts,
             0,
             &mut best,
@@ -575,11 +605,11 @@ pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, P
     } else {
         None
     };
-    if best.is_none() && clock.stopped().is_none() {
+    if cfg.escalate && best.is_none() && clock.stopped().is_none() {
         degradation.relaxations.push(Relaxation::NextLargerDevice);
         let lib = relaxed.as_ref().unwrap_or(&cfg.library);
         let s = run_stage(
-            hg, cfg, lib, true, &mut rng, &clock, cfg.max_attempts, 0, &mut best,
+            hg, cfg, lib, true, &mut rng, clock, cfg.max_attempts, 0, &mut best,
         );
         attempts += s.attempts;
         feasible += s.feasible;
@@ -599,10 +629,20 @@ pub fn kway_partition(hg: &Hypergraph, cfg: &KWayConfig) -> Result<KWayResult, P
                 budget: "injected fault".into(),
                 completed: attempts,
             },
+            Some(StopReason::Cancelled) => PartitionError::BudgetExhausted {
+                budget: "cancelled by the portfolio".into(),
+                completed: attempts,
+            },
             _ => PartitionError::InfeasibleLibrary {
-                reason: "no feasible k-way partition found, even after reseeding, \
-                         floor relaxation and larger-device escalation"
-                    .into(),
+                reason: if cfg.escalate {
+                    "no feasible k-way partition found, even after reseeding, \
+                     floor relaxation and larger-device escalation"
+                        .into()
+                } else {
+                    "no feasible k-way partition found in the base attempt pool \
+                     (escalation disabled)"
+                        .to_string()
+                },
                 attempts,
             },
         });

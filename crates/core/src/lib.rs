@@ -52,13 +52,13 @@ pub mod rent;
 mod runs;
 mod state;
 
-pub use budget::{Budget, RunClock};
+pub use budget::{Budget, CancelToken, RunClock};
 pub use config::{BipartitionConfig, ReplicationMode};
 pub use error::{Degradation, PartitionError, Relaxation, StopReason};
 pub use extract::{extract_rest, Extraction};
 pub use fault::FaultPlan;
-pub use fm::{bipartition, BipartitionResult};
-pub use kway::{kway_partition, KWayConfig, KWayResult};
+pub use fm::{bipartition, bipartition_with_clock, BipartitionResult};
+pub use kway::{kway_partition, kway_partition_with_clock, KWayConfig, KWayResult};
 pub use refine::{refine_kway, unreplicate_cleanup, RefineStats};
-pub use runs::{run_many, MultiRunStats};
+pub use runs::{run_many, run_start, MultiRunStats};
 pub use state::{CellState, EngineState};

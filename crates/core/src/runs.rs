@@ -54,6 +54,25 @@ impl MultiRunStats {
     }
 }
 
+/// Runs the `index`-th start of a multi-start portfolio as one
+/// self-contained, `Send`-able unit of work: a single bipartition with
+/// seed `base.seed + index` against an externally owned clock.
+///
+/// This is the primitive the parallel portfolio engine fans across
+/// worker threads; [`run_many`] is the sequential composition of these
+/// starts over one shared clock. The seed derivation here is the single
+/// source of truth — both drivers produce identical per-start results
+/// for the same `(hg, base, index)`.
+pub fn run_start(
+    hg: &Hypergraph,
+    base: &BipartitionConfig,
+    index: u64,
+    clock: &RunClock,
+) -> BipartitionResult {
+    let cfg = base.clone().with_seed(base.seed.wrapping_add(index));
+    bipartition_with_clock(hg, &cfg, clock)
+}
+
 /// Runs up to `n` bipartitions with seeds `base.seed`, `base.seed + 1`, …
 /// and collects statistics.
 ///
@@ -94,8 +113,7 @@ pub fn run_many(
         if i > 0 && clock.check_wall().is_some() {
             break;
         }
-        let cfg = base.clone().with_seed(base.seed.wrapping_add(i as u64));
-        results.push(bipartition_with_clock(hg, &cfg, &clock));
+        results.push(run_start(hg, base, i as u64, &clock));
         if clock.stopped().is_some() {
             break;
         }

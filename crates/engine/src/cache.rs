@@ -1,0 +1,197 @@
+//! The in-memory result cache of the portfolio engine.
+//!
+//! Keys are [`ContentHash`](crate::ContentHash) digests of the request
+//! — `(netlist/hypergraph, device library, configuration, run count)` —
+//! so a repeated request (the serving scenario: many users submitting
+//! the same circuit) returns the previously computed solution in O(1)
+//! instead of re-running the portfolio. Values are stored behind [`Arc`]
+//! so a hit is a pointer bump, never a deep clone of a placement.
+//!
+//! The cache is deliberately simple: a `Mutex<HashMap>` with atomic
+//! hit/miss counters. Lookups happen once per *request* (not per move
+//! or per start), so lock contention is irrelevant next to the seconds
+//! of FM work a miss triggers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters of a [`ResultCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to compute.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A keyed store of computed results, shared across requests (and
+/// threads) of one engine instance.
+#[derive(Debug)]
+pub struct ResultCache<T> {
+    map: Mutex<HashMap<u64, Arc<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> Default for ResultCache<T> {
+    fn default() -> Self {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T> ResultCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<T>> {
+        let found = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores `value` under `key` (first insert wins on a race, so
+    /// every reader of a key observes one consistent value) and returns
+    /// the stored handle.
+    pub fn insert(&self, key: u64, value: T) -> Arc<T> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_insert_with(|| Arc::new(value))
+            .clone()
+    }
+
+    /// Returns the cached value for `key`, or computes it with `f`.
+    ///
+    /// The second return value is `true` on a hit. The computation runs
+    /// *outside* the lock (an FM portfolio can take seconds; holding
+    /// the map that long would serialize unrelated requests), so two
+    /// racing misses may both compute — the first insert wins and both
+    /// callers get that one value. Errors are not cached: a failed
+    /// computation is retried by the next identical request.
+    pub fn try_get_or_compute<E>(
+        &self,
+        key: u64,
+        f: impl FnOnce() -> Result<T, E>,
+    ) -> Result<(Arc<T>, bool), E> {
+        if let Some(hit) = self.get(key) {
+            return Ok((hit, true));
+        }
+        let value = f()?;
+        Ok((self.insert(key, value), false))
+    }
+
+    /// Hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .map
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len(),
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache: ResultCache<u32> = ResultCache::new();
+        assert_eq!(cache.get(1), None);
+        cache.insert(1, 42);
+        assert_eq!(cache.get(1).as_deref(), Some(&42));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+        assert_eq!(cache.stats().lookups(), 2);
+    }
+
+    #[test]
+    fn compute_once_then_serve() {
+        let cache: ResultCache<String> = ResultCache::new();
+        let mut computed = 0;
+        let mut hits = Vec::new();
+        for _ in 0..3 {
+            let (v, hit) = cache
+                .try_get_or_compute(7, || {
+                    computed += 1;
+                    Ok::<_, ()>("answer".to_string())
+                })
+                .unwrap();
+            assert_eq!(*v, "answer");
+            hits.push(hit);
+        }
+        assert_eq!(computed, 1, "the value is computed exactly once");
+        assert_eq!(hits, vec![false, true, true]);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: ResultCache<u32> = ResultCache::new();
+        assert_eq!(cache.try_get_or_compute(3, || Err::<u32, _>("boom")), Err("boom"));
+        let (v, hit) = cache.try_get_or_compute(3, || Ok::<_, &str>(9)).unwrap();
+        assert_eq!((*v, hit), (9, false));
+    }
+
+    #[test]
+    fn first_insert_wins_on_a_race() {
+        let cache: ResultCache<u32> = ResultCache::new();
+        let a = cache.insert(5, 1);
+        let b = cache.insert(5, 2);
+        assert_eq!((*a, *b), (1, 1));
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache: ResultCache<u32> = ResultCache::new();
+        cache.insert(1, 1);
+        let _ = cache.get(1);
+        cache.clear();
+        assert_eq!(cache.get(1), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 0));
+    }
+}

@@ -1,0 +1,140 @@
+//! The shared best-incumbent bound of a parallel portfolio.
+//!
+//! Workers publish `(cost, start index)` pairs as they finish; the
+//! incumbent keeps the lexicographic minimum in a single `AtomicU64`
+//! (cost in the high 32 bits, index in the low 32), so one `fetch_min`
+//! both publishes and reads back the bound with no lock. Because
+//! `fetch_min` over a fixed set of offers is order-independent, the
+//! final incumbent is identical for every thread interleaving — the
+//! deterministic-reduction argument of the portfolio engine rests on
+//! exactly this property.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Costs at or above this value cannot be packed and are clamped; the
+/// portfolio only prunes on *perfect* (zero-cost) incumbents, so the
+/// clamp never affects correctness, only the advisory bound.
+const COST_CLAMP: u64 = (u32::MAX as u64) - 1;
+
+/// A lock-free, interleaving-independent `(cost, index)` minimum.
+#[derive(Debug)]
+pub struct Incumbent {
+    packed: AtomicU64,
+}
+
+impl Default for Incumbent {
+    fn default() -> Self {
+        Incumbent {
+            packed: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl Incumbent {
+    /// An empty incumbent (no offers yet).
+    pub fn new() -> Self {
+        Incumbent::default()
+    }
+
+    /// Offers a `(cost, index)` candidate; returns `true` if it became
+    /// (or tied) the current best. Indices must fit in 32 bits — the
+    /// portfolio caps start counts far below that.
+    pub fn offer(&self, cost: u64, index: usize) -> bool {
+        let packed = (cost.min(COST_CLAMP) << 32) | (index as u32 as u64);
+        self.packed.fetch_min(packed, Ordering::AcqRel) >= packed
+    }
+
+    /// The best `(cost, index)` offered so far, if any.
+    pub fn best(&self) -> Option<(u64, usize)> {
+        let v = self.packed.load(Ordering::Acquire);
+        if v == u64::MAX {
+            return None;
+        }
+        Some((v >> 32, (v & u64::from(u32::MAX)) as usize))
+    }
+
+    /// The current cost bound (advisory: clamped costs read back as the
+    /// clamp).
+    pub fn cost_bound(&self) -> Option<u64> {
+        self.best().map(|(c, _)| c)
+    }
+
+    /// Whether a zero-cost (unbeatable) incumbent exists — the only
+    /// bound the portfolio prunes on, because no later start can do
+    /// better and ties break toward the lower index, which the work
+    /// queue hands out in ascending order.
+    pub fn is_perfect(&self) -> bool {
+        self.cost_bound() == Some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_then_min_semantics() {
+        let inc = Incumbent::new();
+        assert_eq!(inc.best(), None);
+        assert!(!inc.is_perfect());
+        assert!(inc.offer(10, 4));
+        assert_eq!(inc.best(), Some((10, 4)));
+        // Worse cost loses; equal cost with higher index loses.
+        assert!(!inc.offer(11, 0));
+        assert!(!inc.offer(10, 5));
+        // Equal cost with lower index wins (lexicographic minimum).
+        assert!(inc.offer(10, 2));
+        assert_eq!(inc.best(), Some((10, 2)));
+        assert!(inc.offer(0, 7));
+        assert!(inc.is_perfect());
+    }
+
+    #[test]
+    fn order_independent_reduction() {
+        let offers = [(9u64, 3usize), (2, 8), (2, 1), (40, 0), (3, 2)];
+        let forward = Incumbent::new();
+        for &(c, i) in &offers {
+            forward.offer(c, i);
+        }
+        let backward = Incumbent::new();
+        for &(c, i) in offers.iter().rev() {
+            backward.offer(c, i);
+        }
+        assert_eq!(forward.best(), backward.best());
+        assert_eq!(forward.best(), Some((2, 1)));
+    }
+
+    #[test]
+    fn huge_costs_clamp_without_wrapping_into_the_index() {
+        let inc = Incumbent::new();
+        assert!(inc.offer(u64::MAX, 1));
+        assert_eq!(inc.best(), Some((COST_CLAMP, 1)));
+        assert!(inc.offer(5, 2));
+        assert_eq!(inc.best(), Some((5, 2)));
+    }
+
+    #[test]
+    fn concurrent_offers_agree_with_sequential() {
+        use std::sync::Arc;
+        let inc = Arc::new(Incumbent::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let inc = Arc::clone(&inc);
+                s.spawn(move || {
+                    for i in 0..1000usize {
+                        let cost = ((i * 7 + t * 13) % 50 + 1) as u64;
+                        inc.offer(cost, i);
+                    }
+                });
+            }
+        });
+        // The sequential minimum over the same offer set.
+        let seq = Incumbent::new();
+        for t in 0..4usize {
+            for i in 0..1000usize {
+                seq.offer(((i * 7 + t * 13) % 50 + 1) as u64, i);
+            }
+        }
+        assert_eq!(inc.best(), seq.best());
+    }
+}

@@ -1,0 +1,755 @@
+//! The deterministic parallel portfolio: multi-start FM and k-way
+//! carving fanned across `std::thread` workers.
+//!
+//! # Determinism model
+//!
+//! Every unit of work (a *start*: one seeded bipartition, or one k-way
+//! carving *task*) is atomic — it either runs to completion and is
+//! recorded, or it is excluded entirely. Workers claim starts from an
+//! ascending atomic counter, so start `i` always begins no later than
+//! any start `j > i` is claimed; results land in index-addressed slots
+//! and the winner is reduced in **fixed seed order** (lowest `(cost,
+//! index)` wins), never in arrival order. Three consequences:
+//!
+//! * **Fault-free, unbudgeted runs** record all `n` starts and are
+//!   byte-identical for every `--jobs` level: the recorded set and the
+//!   reduction are both independent of thread interleaving.
+//! * **Zero-wall-budget runs** record exactly the guaranteed first
+//!   start (whose clock carries no deadline) at every `--jobs` level —
+//!   degraded, and still byte-identical.
+//! * **Mid-flight wall trips** are inherently timing-dependent: which
+//!   starts finished before the deadline varies. The engine still
+//!   guarantees that every *recorded* start is bitwise-deterministic
+//!   (per-start clocks, no shared move pool) and that the reduction
+//!   over the recorded set follows fixed seed order — the strongest
+//!   guarantee a physical clock allows.
+//!
+//! The shared [`Incumbent`] prunes only on *perfect* (zero-cost)
+//! incumbents: the claim counter is ascending, so when start `j`
+//! publishes cost 0 every unclaimed index exceeds `j` and can at best
+//! tie — and ties break toward the lower index. Recorded results above
+//! the perfect index are discarded after the join, making even the
+//! early-exit set identical across `--jobs` levels.
+
+use crate::hash::{ContentHash, Fnv1a};
+use crate::incumbent::Incumbent;
+use netpart_core::{
+    kway_partition_with_clock, run_start, BipartitionConfig, BipartitionResult, Budget,
+    CancelToken, Degradation, KWayConfig, KWayResult, PartitionError, RunClock, StopReason,
+};
+use netpart_hypergraph::Hypergraph;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Work observed by one portfolio worker thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Starts (or k-way tasks) this worker ran to completion or
+    /// truncation.
+    pub starts: usize,
+    /// FM passes executed across those starts.
+    pub passes: u64,
+    /// FM moves applied across those starts.
+    pub moves: u64,
+    /// Wall time spent inside starts, in milliseconds.
+    pub wall_ms: u64,
+    /// Times this worker stopped early — a shared-deadline or
+    /// cancellation skip, an incumbent cutoff, or an injected worker
+    /// fault.
+    pub cutoff_hits: u64,
+}
+
+/// One recorded start of a bipartition portfolio.
+#[derive(Clone, Debug)]
+pub struct StartResult {
+    /// The start index (seed offset from the base configuration).
+    pub index: usize,
+    /// The completed bipartition.
+    pub result: BipartitionResult,
+}
+
+/// The outcome of [`portfolio_bipartition`].
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// Recorded starts in ascending index order. Truncated (cancelled
+    /// or deadline-tripped) starts other than the guaranteed first are
+    /// excluded — see the module docs for the determinism model.
+    pub results: Vec<StartResult>,
+    /// Position in [`results`](Self::results) of the winning start.
+    pub best_pos: usize,
+    /// How the portfolio degraded from the request, if at all.
+    pub degradation: Degradation,
+    /// Per-worker statistics, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Total portfolio wall time.
+    pub wall: Duration,
+}
+
+impl PortfolioResult {
+    /// The winning run.
+    pub fn best(&self) -> &BipartitionResult {
+        &self.results[self.best_pos].result
+    }
+
+    /// The winning start's index (its seed offset).
+    pub fn best_start(&self) -> usize {
+        self.results[self.best_pos].index
+    }
+
+    /// The smallest cut over recorded balanced runs.
+    pub fn best_cut(&self) -> usize {
+        self.best().cut
+    }
+
+    /// The mean cut over recorded balanced runs.
+    pub fn avg_cut(&self) -> f64 {
+        let balanced: Vec<_> = self.results.iter().filter(|s| s.result.balanced).collect();
+        if balanced.is_empty() {
+            return f64::NAN;
+        }
+        balanced.iter().map(|s| s.result.cut as f64).sum::<f64>() / balanced.len() as f64
+    }
+
+    /// The mean number of replicated cells over recorded balanced runs.
+    pub fn avg_replicated(&self) -> f64 {
+        let balanced: Vec<_> = self.results.iter().filter(|s| s.result.balanced).collect();
+        if balanced.is_empty() {
+            return f64::NAN;
+        }
+        balanced
+            .iter()
+            .map(|s| s.result.replicated_cells as f64)
+            .sum::<f64>()
+            / balanced.len() as f64
+    }
+
+    /// A stable digest of the complete recorded outcome — every start's
+    /// cut, areas, replication count, stop reason and full placement,
+    /// plus the winner. Two portfolio runs are byte-identical exactly
+    /// when their fingerprints agree, which is what the `--jobs`
+    /// determinism tests pin.
+    pub fn fingerprint(&self, hg: &Hypergraph) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.best_pos);
+        h.write_usize(self.results.len());
+        for s in &self.results {
+            h.write_usize(s.index);
+            let r = &s.result;
+            h.write_usize(r.cut);
+            h.write_u64(r.areas[0]);
+            h.write_u64(r.areas[1]);
+            h.write_usize(r.replicated_cells);
+            h.write_usize(r.passes);
+            h.write_u8(u8::from(r.balanced));
+            h.write_u8(match r.stop {
+                StopReason::Converged => 0,
+                StopReason::PassLimit => 1,
+                StopReason::BudgetExhausted => 2,
+                StopReason::FaultInjected => 3,
+                StopReason::Cancelled => 4,
+            });
+            match &r.placement {
+                None => h.write_u8(0),
+                Some(p) => {
+                    h.write_u8(1);
+                    for c in hg.cell_ids() {
+                        let copies = p.copies(c);
+                        h.write_usize(copies.len());
+                        for copy in copies {
+                            h.write_u64(u64::from(copy.part.0));
+                            h.write_u32(copy.outputs);
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// What one worker decided about one claimed start.
+enum StartOutcome {
+    /// Ran to completion (or deterministic per-start truncation):
+    /// recorded.
+    Recorded(BipartitionResult),
+    /// Truncated by the shared deadline or a cancellation: excluded.
+    Truncated,
+}
+
+/// Caps the packable start index (the [`Incumbent`] packs indices into
+/// 32 bits).
+const MAX_STARTS: usize = u32::MAX as usize >> 1;
+
+fn shared_deadline(budget: &Budget) -> Option<Instant> {
+    budget
+        .wall_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms))
+}
+
+/// Runs `n` seeded bipartition starts (seeds `base.seed + 0..n`) across
+/// `jobs` worker threads and reduces the winner in fixed seed order.
+///
+/// `base.budget.wall_ms` bounds the *whole portfolio* via a deadline
+/// shared by every worker; `base.budget.max_moves` and `base.fault`
+/// apply to each start individually (a shared move pool would make the
+/// recorded set depend on thread interleaving). The first start runs
+/// without the wall deadline, so a usable solution exists whenever one
+/// is reachable at all — the same guarantee
+/// [`run_many`](netpart_core::run_many) makes.
+///
+/// # Errors
+///
+/// * [`PartitionError::InvalidInput`] if `n == 0`, `n` exceeds the
+///   2³¹-start cap, or the hypergraph has no cells.
+/// * [`PartitionError::BudgetExhausted`] if the budget (or a worker
+///   fault) tripped before any recorded run achieved balance.
+/// * [`PartitionError::InfeasibleLibrary`] if every recorded run
+///   completed but none satisfied the area bounds.
+pub fn portfolio_bipartition(
+    hg: &Hypergraph,
+    base: &BipartitionConfig,
+    n: usize,
+    jobs: usize,
+) -> Result<PortfolioResult, PartitionError> {
+    if n == 0 {
+        return Err(PartitionError::invalid_input(
+            "portfolio needs at least one start",
+        ));
+    }
+    if n > MAX_STARTS {
+        return Err(PartitionError::invalid_input(format!(
+            "portfolio start count {n} exceeds the {MAX_STARTS} cap"
+        )));
+    }
+    if hg.n_cells() == 0 {
+        return Err(PartitionError::invalid_input(
+            "cannot partition an empty hypergraph",
+        ));
+    }
+    let t0 = Instant::now();
+    let jobs = jobs.clamp(1, n);
+    let deadline = shared_deadline(&base.budget);
+    // Per-start budgets carry the move limit but not the wall limit
+    // (the wall limit became the shared deadline above).
+    let per_start = Budget {
+        wall_ms: None,
+        max_moves: base.budget.max_moves,
+    };
+    let cancel = CancelToken::new();
+    let incumbent = Incumbent::new();
+    let next = AtomicUsize::new(0);
+    let budget_seen = AtomicBool::new(false);
+    let fault_seen = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<StartOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let cancel = cancel.clone();
+                let (incumbent, next, slots) = (&incumbent, &next, &slots);
+                let (budget_seen, fault_seen) = (&budget_seen, &fault_seen);
+                let per_start = &per_start;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats {
+                        worker: w,
+                        ..WorkerStats::default()
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if i > 0 {
+                            // A perfect incumbent makes every unclaimed
+                            // (higher) index provably useless.
+                            if incumbent.is_perfect() {
+                                stats.cutoff_hits += 1;
+                                break;
+                            }
+                            if cancel.is_cancelled() {
+                                stats.cutoff_hits += 1;
+                                break;
+                            }
+                            if deadline.is_some_and(|d| Instant::now() >= d) {
+                                budget_seen.store(true, Ordering::Release);
+                                cancel.cancel();
+                                stats.cutoff_hits += 1;
+                                break;
+                            }
+                        }
+                        if base.fault.kill_start == Some(i as u64) {
+                            // The worker "dies" before running the start;
+                            // the start is lost, siblings carry on.
+                            fault_seen.store(true, Ordering::Release);
+                            stats.cutoff_hits += 1;
+                            break;
+                        }
+                        let clock = if i == 0 {
+                            RunClock::with_shared(per_start, &base.fault, None, None)
+                        } else {
+                            RunClock::with_shared(
+                                per_start,
+                                &base.fault,
+                                deadline,
+                                Some(cancel.clone()),
+                            )
+                        };
+                        let run_t0 = Instant::now();
+                        let panic_here = base.fault.panic_in_worker == Some(i as u64);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            assert!(!panic_here, "injected worker panic at start {i}");
+                            run_start(hg, base, i as u64, &clock)
+                        }));
+                        stats.moves += clock.moves();
+                        stats.wall_ms += run_t0.elapsed().as_millis() as u64;
+                        let res = match outcome {
+                            Ok(res) => res,
+                            Err(_) => {
+                                // A panicking worker thread is dead; the
+                                // portfolio records the loss and joins
+                                // cleanly.
+                                fault_seen.store(true, Ordering::Release);
+                                stats.cutoff_hits += 1;
+                                break;
+                            }
+                        };
+                        stats.passes += res.passes as u64;
+                        stats.starts += 1;
+                        // A BudgetExhausted stop can come from the shared
+                        // wall deadline (interleaving-dependent) or the
+                        // per-start move limit (deterministic); tell them
+                        // apart by whether the move limit was reached —
+                        // `tick_move` checks the move limit first, so a
+                        // move-limit trip always shows the full count.
+                        let wall_trip = res.stop == StopReason::BudgetExhausted
+                            && deadline.is_some()
+                            && i > 0
+                            && per_start.max_moves.is_none_or(|m| clock.moves() < m);
+                        let outcome = match res.stop {
+                            // Shared-deadline or cancellation truncation
+                            // is interleaving-dependent: exclude (except
+                            // the guaranteed first start, which carries
+                            // neither).
+                            StopReason::BudgetExhausted if wall_trip => {
+                                budget_seen.store(true, Ordering::Release);
+                                cancel.cancel();
+                                stats.cutoff_hits += 1;
+                                StartOutcome::Truncated
+                            }
+                            StopReason::Cancelled => {
+                                stats.cutoff_hits += 1;
+                                StartOutcome::Truncated
+                            }
+                            stop => {
+                                // Per-start move budgets and fault plans
+                                // trip at deterministic points: recorded.
+                                if stop == StopReason::BudgetExhausted {
+                                    budget_seen.store(true, Ordering::Release);
+                                }
+                                if stop == StopReason::FaultInjected {
+                                    fault_seen.store(true, Ordering::Release);
+                                }
+                                if res.balanced {
+                                    incumbent.offer(res.cut as u64, i);
+                                }
+                                StartOutcome::Recorded(res)
+                            }
+                        };
+                        if let Ok(mut slot) = slots[i].lock() {
+                            *slot = Some(outcome);
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    // Deterministic reduction in fixed seed order.
+    let mut results: Vec<StartResult> = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let outcome = slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(StartOutcome::Recorded(result)) = outcome {
+            results.push(StartResult { index: i, result });
+        }
+    }
+    // Discard anything past a perfect winner, so the early-exit set is
+    // jobs-invariant (starts past the winner were provably useless).
+    let perfect_cutoff = results
+        .iter()
+        .find(|s| s.result.balanced && s.result.cut == 0)
+        .map(|s| s.index);
+    let requested = match perfect_cutoff {
+        Some(j) => {
+            results.retain(|s| s.index <= j);
+            results.len()
+        }
+        None => n,
+    };
+    let degradation = Degradation {
+        requested,
+        completed: results.len(),
+        budget_exhausted: budget_seen.load(Ordering::Acquire),
+        fault_injected: fault_seen.load(Ordering::Acquire),
+        relaxations: Vec::new(),
+    };
+    let best_pos = results
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.result.balanced)
+        .min_by_key(|(_, s)| (s.result.cut, s.index))
+        .map(|(pos, _)| pos);
+    match best_pos {
+        Some(best_pos) => Ok(PortfolioResult {
+            results,
+            best_pos,
+            degradation,
+            workers,
+            wall: t0.elapsed(),
+        }),
+        None if degradation.budget_exhausted || degradation.fault_injected => {
+            Err(PartitionError::BudgetExhausted {
+                budget: if degradation.fault_injected {
+                    "injected fault".into()
+                } else {
+                    base.budget.describe()
+                },
+                completed: degradation.completed,
+            })
+        }
+        None => Err(PartitionError::InfeasibleLibrary {
+            reason: format!(
+                "no run satisfied the area bounds [{:?}..{:?}]",
+                base.min_area, base.max_area
+            ),
+            attempts: degradation.completed,
+        }),
+    }
+}
+
+/// The outcome of [`portfolio_kway`].
+#[derive(Clone, Debug)]
+pub struct KWayPortfolioResult {
+    /// The winning task's result (reduced by `(total cost, average IOB
+    /// utilization, task index)`).
+    pub result: KWayResult,
+    /// The winning task's index.
+    pub winner: usize,
+    /// Tasks requested.
+    pub tasks: usize,
+    /// Tasks that produced a feasible result.
+    pub feasible_tasks: usize,
+    /// Whether the escalation rescue phase (see below) produced the
+    /// winner.
+    pub rescued: bool,
+    /// Per-worker statistics, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Total portfolio wall time.
+    pub wall: Duration,
+}
+
+/// The task-local configuration of k-way portfolio task `t` of `tasks`:
+/// a derived seed and a proportional share of the candidate/attempt
+/// pools. Depends only on `(cfg, t, tasks)` — never on `jobs` — so the
+/// task set is identical at every thread count.
+fn kway_task_config(cfg: &KWayConfig, t: usize, tasks: usize, escalate: bool) -> KWayConfig {
+    let mut task = cfg.clone();
+    task.seed = cfg.seed.wrapping_add(t as u64);
+    task.candidates = cfg.candidates.div_ceil(tasks).max(1);
+    task.max_attempts = cfg.max_attempts.div_ceil(tasks).max(1);
+    task.escalate = escalate;
+    task
+}
+
+struct KWayPhaseOutcome {
+    results: Vec<(usize, KWayResult)>,
+    errors: Vec<(usize, PartitionError)>,
+    workers: Vec<WorkerStats>,
+    budget_seen: bool,
+    fault_seen: bool,
+}
+
+/// Runs every task of one phase across `jobs` workers. Task 0 runs
+/// without the shared wall deadline (the first-start guarantee); the
+/// rest drain through it and the cancel token.
+fn kway_phase(
+    hg: &Hypergraph,
+    cfg: &KWayConfig,
+    tasks: usize,
+    jobs: usize,
+    escalate: bool,
+    deadline: Option<Instant>,
+) -> KWayPhaseOutcome {
+    let per_task = Budget {
+        wall_ms: None,
+        max_moves: cfg.budget.max_moves,
+    };
+    let cancel = CancelToken::new();
+    let next = AtomicUsize::new(0);
+    let budget_seen = AtomicBool::new(false);
+    let fault_seen = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<KWayResult, PartitionError>>>> =
+        (0..tasks).map(|_| Mutex::new(None)).collect();
+
+    let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs.clamp(1, tasks))
+            .map(|w| {
+                let cancel = cancel.clone();
+                let (next, slots) = (&next, &slots);
+                let (budget_seen, fault_seen) = (&budget_seen, &fault_seen);
+                let per_task = &per_task;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats {
+                        worker: w,
+                        ..WorkerStats::default()
+                    };
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks {
+                            break;
+                        }
+                        if t > 0 {
+                            if cancel.is_cancelled() {
+                                stats.cutoff_hits += 1;
+                                break;
+                            }
+                            if deadline.is_some_and(|d| Instant::now() >= d) {
+                                budget_seen.store(true, Ordering::Release);
+                                cancel.cancel();
+                                stats.cutoff_hits += 1;
+                                break;
+                            }
+                        }
+                        if cfg.fault.kill_start == Some(t as u64) {
+                            fault_seen.store(true, Ordering::Release);
+                            stats.cutoff_hits += 1;
+                            break;
+                        }
+                        let task_cfg = kway_task_config(cfg, t, tasks, escalate);
+                        let clock = if t == 0 {
+                            RunClock::with_shared(per_task, &cfg.fault, None, None)
+                        } else {
+                            RunClock::with_shared(
+                                per_task,
+                                &cfg.fault,
+                                deadline,
+                                Some(cancel.clone()),
+                            )
+                        };
+                        let run_t0 = Instant::now();
+                        let panic_here = cfg.fault.panic_in_worker == Some(t as u64);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            assert!(!panic_here, "injected worker panic at task {t}");
+                            kway_partition_with_clock(hg, &task_cfg, &clock)
+                        }));
+                        stats.moves += clock.moves();
+                        stats.wall_ms += run_t0.elapsed().as_millis() as u64;
+                        let res = match outcome {
+                            Ok(res) => res,
+                            Err(_) => {
+                                fault_seen.store(true, Ordering::Release);
+                                stats.cutoff_hits += 1;
+                                break;
+                            }
+                        };
+                        stats.starts += 1;
+                        match &res {
+                            Ok(r) => {
+                                if r.degradation.budget_exhausted {
+                                    budget_seen.store(true, Ordering::Release);
+                                    cancel.cancel();
+                                }
+                                if r.degradation.fault_injected {
+                                    fault_seen.store(true, Ordering::Release);
+                                }
+                            }
+                            Err(PartitionError::BudgetExhausted { budget, .. }) => {
+                                stats.cutoff_hits += 1;
+                                if budget == "injected fault" {
+                                    fault_seen.store(true, Ordering::Release);
+                                } else {
+                                    budget_seen.store(true, Ordering::Release);
+                                    cancel.cancel();
+                                }
+                            }
+                            Err(_) => {}
+                        }
+                        if let Ok(mut slot) = slots[t].lock() {
+                            *slot = Some(res);
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    let mut results = Vec::new();
+    let mut errors = Vec::new();
+    for (t, slot) in slots.into_iter().enumerate() {
+        match slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            Some(Ok(r)) => results.push((t, r)),
+            Some(Err(e)) => errors.push((t, e)),
+            None => {}
+        }
+    }
+    KWayPhaseOutcome {
+        results,
+        errors,
+        workers,
+        budget_seen: budget_seen.load(Ordering::Acquire),
+        fault_seen: fault_seen.load(Ordering::Acquire),
+    }
+}
+
+fn merge_worker_stats(into: &mut Vec<WorkerStats>, from: Vec<WorkerStats>) {
+    for f in from {
+        match into.iter_mut().find(|s| s.worker == f.worker) {
+            Some(s) => {
+                s.starts += f.starts;
+                s.passes += f.passes;
+                s.moves += f.moves;
+                s.wall_ms += f.wall_ms;
+                s.cutoff_hits += f.cutoff_hits;
+            }
+            None => into.push(f),
+        }
+    }
+}
+
+/// Runs `tasks` independent k-way carving tasks (derived seeds, split
+/// candidate pools) across `jobs` workers and reduces the cheapest
+/// feasible result in fixed task order.
+///
+/// Escalation is two-phase: every task first runs with the ladder
+/// *disabled* — a sibling's feasible result (the shared incumbent of
+/// this portfolio) makes climbing unnecessary, and racy ladder climbs
+/// would be interleaving-dependent. Only when *no* task finds anything
+/// feasible (and no budget tripped) does a rescue phase re-run the
+/// tasks with the full ladder enabled. The task set depends only on
+/// `(cfg, tasks)`, so for a fixed `tasks` the reduction is identical at
+/// every `jobs` level.
+///
+/// # Errors
+///
+/// Mirrors [`kway_partition`](netpart_core::kway_partition): invalid
+/// input, budget exhaustion before any feasible result, or
+/// infeasibility after the rescue phase.
+pub fn portfolio_kway(
+    hg: &Hypergraph,
+    cfg: &KWayConfig,
+    tasks: usize,
+    jobs: usize,
+) -> Result<KWayPortfolioResult, PartitionError> {
+    if tasks == 0 {
+        return Err(PartitionError::invalid_input(
+            "portfolio needs at least one task",
+        ));
+    }
+    if tasks > MAX_STARTS {
+        return Err(PartitionError::invalid_input(format!(
+            "portfolio task count {tasks} exceeds the {MAX_STARTS} cap"
+        )));
+    }
+    let t0 = Instant::now();
+    let deadline = shared_deadline(&cfg.budget);
+    let mut workers = Vec::new();
+
+    let phase_a = kway_phase(hg, cfg, tasks, jobs, false, deadline);
+    let mut budget_seen = phase_a.budget_seen;
+    let mut fault_seen = phase_a.fault_seen;
+    let mut errors = phase_a.errors;
+    let mut picked = phase_a.results;
+    let mut rescued = false;
+    merge_worker_stats(&mut workers, phase_a.workers);
+
+    if picked.is_empty() && !budget_seen && !fault_seen && cfg.escalate {
+        // Rescue phase: nothing feasible anywhere — climb the ladder.
+        rescued = true;
+        let phase_b = kway_phase(hg, cfg, tasks, jobs, true, deadline);
+        budget_seen |= phase_b.budget_seen;
+        fault_seen |= phase_b.fault_seen;
+        errors = phase_b.errors;
+        picked = phase_b.results;
+        merge_worker_stats(&mut workers, phase_b.workers);
+    }
+
+    let feasible_tasks = picked.len();
+    let winner = picked.into_iter().min_by(|(ta, a), (tb, b)| {
+        (a.evaluation.total_cost, a.evaluation.avg_iob_util, *ta)
+            .partial_cmp(&(b.evaluation.total_cost, b.evaluation.avg_iob_util, *tb))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    match winner {
+        Some((t, mut result)) => {
+            result.degradation.budget_exhausted |= budget_seen;
+            result.degradation.fault_injected |= fault_seen;
+            Ok(KWayPortfolioResult {
+                result,
+                winner: t,
+                tasks,
+                feasible_tasks,
+                rescued,
+                workers,
+                wall: t0.elapsed(),
+            })
+        }
+        None if budget_seen || fault_seen => Err(PartitionError::BudgetExhausted {
+            budget: if fault_seen {
+                "injected fault".into()
+            } else {
+                cfg.budget.describe()
+            },
+            completed: errors.len(),
+        }),
+        None => {
+            // Propagate the lowest-index typed error (typically the
+            // shared InfeasibleLibrary verdict), or synthesize one.
+            let attempts: usize = errors
+                .iter()
+                .map(|(_, e)| match e {
+                    PartitionError::InfeasibleLibrary { attempts, .. } => *attempts,
+                    _ => 0,
+                })
+                .sum();
+            match errors.into_iter().next() {
+                Some((_, PartitionError::InfeasibleLibrary { reason, .. })) => {
+                    Err(PartitionError::InfeasibleLibrary { reason, attempts })
+                }
+                Some((_, e)) => Err(e),
+                None => Err(PartitionError::InfeasibleLibrary {
+                    reason: "every portfolio task was lost before completing".into(),
+                    attempts: 0,
+                }),
+            }
+        }
+    }
+}
+
+/// The composite cache key of a bipartition portfolio request.
+pub(crate) fn bipartition_key(hg: &Hypergraph, base: &BipartitionConfig, n: usize) -> u64 {
+    crate::hash::combine(&[hg.content_hash(), base.content_hash(), n as u64])
+}
+
+/// The composite cache key of a k-way portfolio request.
+pub(crate) fn kway_key(hg: &Hypergraph, cfg: &KWayConfig, tasks: usize) -> u64 {
+    crate::hash::combine(&[hg.content_hash(), cfg.content_hash(), tasks as u64])
+}

@@ -140,6 +140,59 @@ impl fmt::Display for Table {
     }
 }
 
+/// Per-worker statistics of one parallel portfolio run, as plain data.
+///
+/// The report crate deliberately does not depend on the engine crate;
+/// callers convert the engine's worker stats into rows and render them
+/// with [`worker_table`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkerRow {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Starts or tasks this worker ran.
+    pub starts: usize,
+    /// FM passes executed across those starts.
+    pub passes: u64,
+    /// FM moves applied across those starts.
+    pub moves: u64,
+    /// Wall time spent inside starts, in milliseconds.
+    pub wall_ms: u64,
+    /// Early stops: deadline/cancellation skips, incumbent cutoffs,
+    /// injected worker faults.
+    pub cutoff_hits: u64,
+}
+
+/// Renders per-worker portfolio statistics as a [`Table`], with a
+/// totals row when more than one worker reported.
+pub fn worker_table(title: impl Into<String>, rows: &[WorkerRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["Worker", "Starts", "Passes", "Moves", "Wall (ms)", "Cutoffs"],
+    );
+    for r in rows {
+        t.row([
+            r.worker.to_string(),
+            r.starts.to_string(),
+            r.passes.to_string(),
+            r.moves.to_string(),
+            r.wall_ms.to_string(),
+            r.cutoff_hits.to_string(),
+        ]);
+    }
+    if rows.len() > 1 {
+        t.row([
+            "total".into(),
+            rows.iter().map(|r| r.starts).sum::<usize>().to_string(),
+            rows.iter().map(|r| r.passes).sum::<u64>().to_string(),
+            rows.iter().map(|r| r.moves).sum::<u64>().to_string(),
+            rows.iter().map(|r| r.wall_ms).sum::<u64>().to_string(),
+            rows.iter().map(|r| r.cutoff_hits).sum::<u64>().to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with one decimal.
 pub fn f1(x: f64) -> String {
     format!("{x:.1}")
@@ -192,6 +245,34 @@ mod tests {
         assert_eq!(f1(1.25), "1.2");
         assert_eq!(f2(1.256), "1.26");
         assert_eq!(pct(0.345), "34.5");
+    }
+
+    #[test]
+    fn worker_table_totals() {
+        let rows = vec![
+            WorkerRow {
+                worker: 0,
+                starts: 3,
+                passes: 12,
+                moves: 400,
+                wall_ms: 7,
+                cutoff_hits: 0,
+            },
+            WorkerRow {
+                worker: 1,
+                starts: 2,
+                passes: 8,
+                moves: 300,
+                wall_ms: 5,
+                cutoff_hits: 1,
+            },
+        ];
+        let t = worker_table("Workers", &rows);
+        assert_eq!(t.n_rows(), 3, "two workers plus a totals row");
+        let csv = t.to_csv();
+        assert!(csv.contains("total,5,20,700,12,1"), "csv was:\n{csv}");
+        // A single worker gets no totals row.
+        assert_eq!(worker_table("W", &rows[..1]).n_rows(), 1);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Measures the portfolio engine's wall-clock scaling: the same
+//! multi-start FM portfolio at `--jobs` 1, 2 and 4, printed as a table.
+//! The determinism contract means every row computes the identical best
+//! solution — only the wall time may differ.
+//!
+//! ```text
+//! cargo run --release --example portfolio_speedup [gates] [starts]
+//! ```
+//!
+//! This is the source of the README's speedup numbers; re-run it on
+//! your own hardware (the numbers scale with physical cores).
+
+use netpart::prelude::*;
+use netpart::report::{f2, Table};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let gates: usize = args.next().map_or(Ok(2000), |a| a.parse())?;
+    let starts: usize = args.next().map_or(Ok(20), |a| a.parse())?;
+
+    let nl = generate(&GeneratorConfig::new(gates).with_dff(gates / 10).with_seed(42));
+    let hg = map(&nl, &MapperConfig::xc3000())?.to_hypergraph(&nl);
+    let cfg = BipartitionConfig::equal(&hg, 0.1)
+        .with_seed(1)
+        .with_replication(ReplicationMode::functional(0));
+    println!(
+        "portfolio: {starts} starts on {} CLBs ({} threads available)\n",
+        hg.stats().clbs,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+
+    let mut t = Table::new(
+        "Portfolio speedup (identical best solution per row)",
+        &["jobs", "best cut", "wall (ms)", "speedup"],
+    );
+    let mut base_ms = None;
+    let mut prints = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let r = portfolio_bipartition(&hg, &cfg, starts, jobs)?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let base = *base_ms.get_or_insert(ms);
+        prints.push(r.fingerprint(&hg));
+        t.row([
+            jobs.to_string(),
+            r.best_cut().to_string(),
+            f2(ms),
+            format!("{}x", f2(base / ms)),
+        ]);
+    }
+    assert!(
+        prints.windows(2).all(|w| w[0] == w[1]),
+        "determinism violated: fingerprints differ across jobs levels"
+    );
+    println!("{t}");
+    println!("(fingerprint {:#018x} at every jobs level)", prints[0]);
+    Ok(())
+}

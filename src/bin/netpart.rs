@@ -5,11 +5,21 @@
 //! netpart stats       <file.blif>
 //! netpart bipartition <file.blif> [--replication none|traditional|functional]
 //!                     [--threshold T] [--runs N] [--epsilon E] [--seed S]
-//!                     [--budget-ms MS]
+//!                     [--budget-ms MS] [--jobs N] [--cache]
 //! netpart kway        <file.blif> [--replication none|functional] [--threshold T]
 //!                     [--candidates N] [--max-attempts N] [--seed S] [--refine]
-//!                     [--budget-ms MS] [--assign out.csv]
+//!                     [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N]
+//!                     [--cache]
 //! ```
+//!
+//! `--jobs N` fans the multi-start portfolio across `N` worker threads
+//! via the deterministic engine: for a fixed seed the printed solution
+//! is identical at every jobs level. `--tasks N` fixes the k-way
+//! portfolio width (default 4) independently of `--jobs`, which is what
+//! keeps the k-way reduction jobs-invariant. Worker statistics go to
+//! stderr so stdout stays byte-comparable. `--cache` enables the
+//! engine's in-memory result cache (useful for repeated requests inside
+//! one process; stats are printed to stderr).
 //!
 //! Generated circuits can be exported for experimentation with
 //! `netpart synth <gates> [out.blif]`.
@@ -30,13 +40,15 @@
 //!   ([`PartitionError::InternalInvariant`]).
 
 use netpart::core::{refine_kway, unreplicate_cleanup};
+use netpart::engine::WorkerStats;
 use netpart::prelude::*;
+use netpart::report::{worker_table, WorkerRow};
 use std::error::Error;
 use std::fmt::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
     );
     std::process::exit(2)
 }
@@ -53,6 +65,9 @@ struct Flags {
     refine: bool,
     assign: Option<String>,
     dff: usize,
+    jobs: usize,
+    tasks: Option<usize>,
+    cache: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -68,6 +83,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         refine: false,
         assign: None,
         dff: 0,
+        jobs: 1,
+        tasks: None,
+        cache: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -84,6 +102,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--max-attempts" => f.max_attempts = Some(val()?.parse()?),
             "--budget-ms" => f.budget_ms = Some(val()?.parse()?),
             "--dff" => f.dff = val()?.parse()?,
+            "--jobs" => f.jobs = val()?.parse::<usize>()?.max(1),
+            "--tasks" => f.tasks = Some(val()?.parse::<usize>()?.max(1)),
+            "--cache" => f.cache = true,
             "--refine" => f.refine = true,
             "--assign" => f.assign = Some(val()?.clone()),
             _ => return Err(format!("unknown flag {a}").into()),
@@ -126,6 +147,34 @@ fn note_degradation(d: &Degradation) {
     }
 }
 
+/// Prints the per-worker portfolio statistics to stderr (stderr so that
+/// stdout stays byte-identical across `--jobs` levels — wall times are
+/// not deterministic).
+fn note_workers(workers: &[WorkerStats]) {
+    let rows: Vec<WorkerRow> = workers
+        .iter()
+        .map(|w| WorkerRow {
+            worker: w.worker,
+            starts: w.starts,
+            passes: w.passes,
+            moves: w.moves,
+            wall_ms: w.wall_ms,
+            cutoff_hits: w.cutoff_hits,
+        })
+        .collect();
+    eprintln!("{}", worker_table("portfolio workers", &rows));
+}
+
+fn note_cache(engine: &Engine) {
+    if engine.cache_enabled() {
+        let s = engine.cache_stats();
+        eprintln!(
+            "cache: {} hits, {} misses, {} entries",
+            s.hits, s.misses, s.entries
+        );
+    }
+}
+
 fn cmd_stats(path: &str) -> Result<(), Box<dyn Error>> {
     let (nl, hg) = load(path)?;
     let s = hg.stats();
@@ -162,7 +211,31 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         .with_seed(f.seed)
         .with_replication(mode_of(f)?)
         .with_budget(budget_of(f));
-    let stats = run_many(&hg, &cfg, f.runs.max(1))?;
+    let runs = f.runs.max(1);
+    if f.jobs > 1 || f.cache {
+        // Portfolio engine path: same printed solution as the
+        // sequential harness for a fixed seed, by the engine's
+        // determinism contract.
+        let engine = Engine::new(f.jobs).with_cache(f.cache);
+        let (stats, _hit) = engine.bipartition_many(&hg, &cfg, runs)?;
+        note_degradation(&stats.degradation);
+        println!(
+            "{} runs: best cut {}, avg cut {:.1}, avg replicated cells {:.1}",
+            stats.results.len(),
+            stats.best_cut(),
+            stats.avg_cut(),
+            stats.avg_replicated()
+        );
+        let best = stats.best();
+        println!(
+            "best run: areas {:?}, {} passes, balanced: {}, stop: {}",
+            best.areas, best.passes, best.balanced, best.stop
+        );
+        note_workers(&stats.workers);
+        note_cache(&engine);
+        return Ok(());
+    }
+    let stats = run_many(&hg, &cfg, runs)?;
     note_degradation(&stats.degradation);
     println!(
         "{} runs: best cut {}, avg cut {:.1}, avg replicated cells {:.1}",
@@ -196,7 +269,26 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
     if let Some(n) = f.max_attempts {
         cfg = cfg.with_max_attempts(n);
     }
-    let mut res = kway_partition(&hg, &cfg)?;
+    let mut res = if f.jobs > 1 || f.tasks.is_some() || f.cache {
+        // Portfolio engine path. The task count is fixed independently
+        // of --jobs (default 4), which is what makes the reduction
+        // jobs-invariant.
+        let tasks = f.tasks.unwrap_or(4);
+        let engine = Engine::new(f.jobs).with_cache(f.cache);
+        let (pres, _hit) = engine.kway(&hg, &cfg, tasks)?;
+        eprintln!(
+            "portfolio: task {} of {} won ({} feasible{})",
+            pres.winner,
+            pres.tasks,
+            pres.feasible_tasks,
+            if pres.rescued { ", rescued" } else { "" }
+        );
+        note_workers(&pres.workers);
+        note_cache(&engine);
+        pres.result.clone()
+    } else {
+        kway_partition(&hg, &cfg)?
+    };
     note_degradation(&res.degradation);
     if f.refine {
         let n = unreplicate_cleanup(&hg, &mut res.placement, &res.devices, &lib);

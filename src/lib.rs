@@ -16,6 +16,9 @@
 //!   (eq. 1) and interconnect (eq. 2) objectives;
 //! * [`core`] — FM bipartitioning with functional replication and the
 //!   cost-driven k-way partitioner;
+//! * [`engine`] — the deterministic parallel portfolio engine
+//!   (multi-threaded multi-start with a shared incumbent and result
+//!   cache);
 //! * [`report`] — experiment tables.
 //!
 //! # Examples
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use netpart_core as core;
+pub use netpart_engine as engine;
 pub use netpart_fpga as fpga;
 pub use netpart_hypergraph as hypergraph;
 pub use netpart_netlist as netlist;
@@ -56,6 +60,10 @@ pub mod prelude {
     pub use netpart_core::{
         bipartition, kway_partition, run_many, BipartitionConfig, Budget, Degradation, FaultPlan,
         KWayConfig, PartitionError, Relaxation, ReplicationMode, StopReason,
+    };
+    pub use netpart_engine::{
+        portfolio_bipartition, portfolio_kway, ContentHash, Engine, KWayPortfolioResult,
+        PortfolioResult,
     };
     pub use netpart_fpga::{assign_devices, evaluate, Device, DeviceLibrary};
     pub use netpart_hypergraph::{

@@ -1,0 +1,141 @@
+//! The CLI face of the engine's determinism contract: for a fixed seed,
+//! `--jobs N` prints byte-identical stdout to `--jobs 1` (worker
+//! statistics go to stderr precisely so this holds), and the
+//! portfolio paths never change the exit-code contract.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn netpart() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_netpart"))
+}
+
+fn synth(dir: &std::path::Path, gates: &str, seed: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("temp dir");
+    let blif = dir.join(format!("synth-{gates}-{seed}.blif"));
+    let out = netpart()
+        .args(["synth", gates, blif.to_str().expect("utf8 path"), "--seed", seed])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    blif
+}
+
+fn tmp() -> PathBuf {
+    std::env::temp_dir().join(format!("netpart-cli-jobs-{}", std::process::id()))
+}
+
+#[test]
+fn bipartition_stdout_is_identical_across_jobs_levels() {
+    let blif = synth(&tmp(), "300", "7");
+    let run = |jobs: &str| {
+        let out = netpart()
+            .args([
+                "bipartition",
+                blif.to_str().expect("utf8 path"),
+                "--runs",
+                "6",
+                "--seed",
+                "5",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "jobs={jobs} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let reference = run("1");
+    assert_eq!(run("2"), reference, "--jobs 2 diverged from --jobs 1");
+    assert_eq!(run("8"), reference, "--jobs 8 diverged from --jobs 1");
+}
+
+#[test]
+fn kway_stdout_is_identical_across_jobs_levels_for_fixed_tasks() {
+    let blif = synth(&tmp(), "400", "9");
+    let run = |jobs: &str| {
+        let out = netpart()
+            .args([
+                "kway",
+                blif.to_str().expect("utf8 path"),
+                "--candidates",
+                "4",
+                "--seed",
+                "2",
+                "--tasks",
+                "3",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "jobs={jobs} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let reference = run("1");
+    assert_eq!(run("2"), reference, "--jobs 2 diverged from --jobs 1");
+    assert_eq!(run("4"), reference, "--jobs 4 diverged from --jobs 1");
+}
+
+#[test]
+fn budgeted_portfolio_bipartition_still_exits_zero() {
+    // A zero wall budget leaves only the guaranteed first start — a
+    // degraded result (note on stderr), never a failure.
+    let blif = synth(&tmp(), "300", "11");
+    let out = netpart()
+        .args([
+            "bipartition",
+            blif.to_str().expect("utf8 path"),
+            "--runs",
+            "8",
+            "--budget-ms",
+            "0",
+            "--jobs",
+            "4",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("note:"), "expected a degradation note, got: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 runs:"), "stdout: {stdout}");
+}
+
+#[test]
+fn cache_flag_reports_stats_on_stderr() {
+    let blif = synth(&tmp(), "200", "13");
+    let out = netpart()
+        .args([
+            "bipartition",
+            blif.to_str().expect("utf8 path"),
+            "--runs",
+            "3",
+            "--cache",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cache:"), "expected cache stats, got: {err}");
+}
