@@ -1,0 +1,42 @@
+//! Review repro: k-way portfolio under a per-task move budget across jobs levels.
+
+use netpart_core::{Budget, KWayConfig};
+use netpart_engine::portfolio_kway;
+use netpart_fpga::DeviceLibrary;
+use netpart_netlist::{generate, GeneratorConfig};
+use netpart_techmap::{map, MapperConfig};
+
+#[test]
+fn kway_move_budget_across_jobs() {
+    let nl = generate(&GeneratorConfig::new(800).with_dff(40).with_seed(11));
+    let hg = map(&nl, &MapperConfig::xc3000())
+        .expect("maps")
+        .to_hypergraph(&nl);
+    let describe = |r: &Result<netpart_engine::KWayPortfolioResult, netpart_core::PartitionError>| match r {
+        Ok(r) => format!(
+            "Ok(winner={}, feasible={}, cost={}, rescued={}, budget_exhausted={})",
+            r.winner,
+            r.feasible_tasks,
+            r.result.evaluation.total_cost,
+            r.rescued,
+            r.result.degradation.budget_exhausted
+        ),
+        Err(e) => format!("Err({e})"),
+    };
+    let mut diverged = Vec::new();
+    for moves in [500u64, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000] {
+        let cfg = KWayConfig::new(DeviceLibrary::xc3000())
+            .with_candidates(4)
+            .with_seed(1)
+            .with_max_passes(8)
+            .with_budget(Budget::none().with_max_moves(moves));
+        let a = portfolio_kway(&hg, &cfg, 3, 1);
+        let b = portfolio_kway(&hg, &cfg, 3, 8);
+        let (da, db) = (describe(&a), describe(&b));
+        eprintln!("moves={moves}: jobs=1 {da} | jobs=8 {db}");
+        if da != db {
+            diverged.push(moves);
+        }
+    }
+    assert!(diverged.is_empty(), "diverged at move budgets {diverged:?}");
+}
