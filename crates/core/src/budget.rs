@@ -11,6 +11,7 @@
 
 use crate::error::StopReason;
 use crate::fault::FaultPlan;
+use netpart_obs::{Recorder, NOOP};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -126,6 +127,7 @@ pub struct RunClock {
     stopped: Cell<Option<StopReason>>,
     budget: Budget,
     cancel: Option<CancelToken>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl RunClock {
@@ -143,6 +145,7 @@ impl RunClock {
             stopped: Cell::new(None),
             budget: budget.clone(),
             cancel: None,
+            recorder: None,
         }
     }
 
@@ -173,7 +176,18 @@ impl RunClock {
             stopped: Cell::new(None),
             budget: budget.clone(),
             cancel,
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder; instrumentation sites reach it
+    /// through [`RunClock::recorder`]. The clock is already threaded
+    /// through every engine entry point, so this is how tracing rides
+    /// along without widening any algorithm signature.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// A clock that never trips.
@@ -194,6 +208,25 @@ impl RunClock {
     /// Total applied moves observed.
     pub fn moves(&self) -> u64 {
         self.moves.get()
+    }
+
+    /// Total completed FM passes observed.
+    pub fn passes(&self) -> u64 {
+        self.passes.get()
+    }
+
+    /// Total k-way carve attempts observed.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.get()
+    }
+
+    /// The attached telemetry recorder (the no-op recorder when none is
+    /// attached, so call sites never branch on `Option`).
+    pub fn recorder(&self) -> &dyn Recorder {
+        match &self.recorder {
+            Some(r) => r.as_ref(),
+            None => &NOOP,
+        }
     }
 
     fn trip(&self, reason: StopReason) -> StopReason {
@@ -261,11 +294,7 @@ impl RunClock {
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             return Some(self.trip(StopReason::BudgetExhausted));
         }
-        if self
-            .cancel
-            .as_ref()
-            .is_some_and(CancelToken::is_cancelled)
-        {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Some(self.trip(StopReason::Cancelled));
         }
         None
@@ -319,7 +348,12 @@ mod tests {
     #[test]
     fn cancel_token_drains_a_shared_clock() {
         let token = CancelToken::new();
-        let c = RunClock::with_shared(&Budget::none(), &FaultPlan::none(), None, Some(token.clone()));
+        let c = RunClock::with_shared(
+            &Budget::none(),
+            &FaultPlan::none(),
+            None,
+            Some(token.clone()),
+        );
         assert_eq!(c.check_wall(), None);
         token.cancel();
         assert!(token.is_cancelled());
@@ -339,7 +373,12 @@ mod tests {
         let c = RunClock::with_shared(&Budget::wall_ms(0), &FaultPlan::none(), Some(far), None);
         assert_eq!(c.check_wall(), None);
         // And an already-expired shared deadline trips immediately.
-        let c = RunClock::with_shared(&Budget::none(), &FaultPlan::none(), Some(Instant::now()), None);
+        let c = RunClock::with_shared(
+            &Budget::none(),
+            &FaultPlan::none(),
+            Some(Instant::now()),
+            None,
+        );
         assert_eq!(c.check_wall(), Some(StopReason::BudgetExhausted));
     }
 

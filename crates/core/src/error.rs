@@ -197,7 +197,10 @@ impl fmt::Display for Relaxation {
                 write!(f, "relaxed the l_i lower utilization floor to 0")
             }
             Relaxation::NextLargerDevice => {
-                write!(f, "escalated to larger devices (cost traded for feasibility)")
+                write!(
+                    f,
+                    "escalated to larger devices (cost traded for feasibility)"
+                )
             }
         }
     }

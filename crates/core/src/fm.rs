@@ -7,6 +7,7 @@ use crate::config::{BipartitionConfig, ReplicationMode};
 use crate::error::StopReason;
 use crate::state::{CellState, EngineState};
 use netpart_hypergraph::{CellId, Hypergraph, Placement};
+use netpart_obs::{Event, Level};
 use netpart_rng::Rng;
 use std::collections::BinaryHeap;
 
@@ -138,6 +139,13 @@ fn legal(
 struct PassOutcome {
     improvement: i64,
     any_balanced: bool,
+    /// Gain-bucket (heap) statistics for telemetry: total pops, pops
+    /// skipped as stale/locked, moves applied, and the balanced prefix
+    /// kept after rollback.
+    pops: u64,
+    stale: u64,
+    applied: u64,
+    kept: u64,
 }
 
 fn run_pass(
@@ -155,10 +163,10 @@ fn run_pass(
     let mut heap = BinaryHeap::new();
 
     let push = |engine: &EngineState<'_>,
-                    heap: &mut BinaryHeap<HeapEntry>,
-                    stamps: &mut [u64],
-                    proposed: &mut [Option<CellState>],
-                    c: CellId| {
+                heap: &mut BinaryHeap<HeapEntry>,
+                stamps: &mut [u64],
+                proposed: &mut [Option<CellState>],
+                c: CellId| {
         if let Some((gain, tie, st)) = best_candidate(engine, cfg, psi, c) {
             stamps[c.index()] += 1;
             proposed[c.index()] = Some(st);
@@ -179,13 +187,18 @@ fn run_pass(
     let mut cum = 0i64;
     let mut best: Option<(i64, usize)> = cfg.balanced(engine.areas()).then_some((0, 0));
     let mut deferred: Vec<CellId> = Vec::new();
+    let mut pops = 0u64;
+    let mut stale = 0u64;
 
     while let Some(e) = heap.pop() {
+        pops += 1;
         let c = CellId(e.cell);
         if locked[c.index()] || e.stamp != stamps[c.index()] {
+            stale += 1;
             continue;
         }
         let Some(new) = proposed[c.index()] else {
+            stale += 1;
             continue;
         };
         if !legal(engine, cfg, total0, c, new) {
@@ -227,12 +240,17 @@ fn run_pass(
     }
 
     let keep = best.map_or(0, |(_, k)| k);
+    let applied = log.len() as u64;
     for (c, prev) in log.drain(keep..).rev() {
         engine.set_state(c, prev);
     }
     PassOutcome {
         improvement: best.map_or(0, |(g, _)| g),
         any_balanced: best.is_some(),
+        pops,
+        stale,
+        applied,
+        kept: keep as u64,
     }
 }
 
@@ -299,16 +317,38 @@ pub fn bipartition_with_clock(
     } else {
         &[ReplicationMode::None]
     };
+    let recorder = clock.recorder();
+    let moves0 = clock.moves(); // the clock may be shared across starts
     let mut stop = StopReason::Converged;
     'phases: for &mode in phases {
         let phase_cfg = BipartitionConfig {
             replication: mode,
             ..cfg.clone()
         };
+        let phase_name = match mode {
+            ReplicationMode::None => "plain",
+            ReplicationMode::Traditional => "traditional",
+            ReplicationMode::Functional { .. } => "functional",
+        };
         stop = StopReason::PassLimit; // overwritten on convergence/interruption
         for _ in 0..cfg.max_passes {
             let out = run_pass(&mut engine, &phase_cfg, &psi, clock);
             passes += 1;
+            if recorder.enabled(Level::Trace) {
+                recorder.record(
+                    &Event::new("fm", "pass", Level::Trace)
+                        .field("seed", cfg.seed)
+                        .field("phase", phase_name)
+                        .field("pass", passes)
+                        .field("cut", engine.cut())
+                        .field("gain", out.improvement)
+                        .field("pops", out.pops)
+                        .field("stale", out.stale)
+                        .field("applied", out.applied)
+                        .field("kept", out.kept)
+                        .field("balanced", out.any_balanced),
+                );
+            }
             if let Some(r) = clock.tick_pass() {
                 stop = r;
                 break 'phases;
@@ -321,12 +361,47 @@ pub fn bipartition_with_clock(
             }
         }
     }
-    let exportable = (0..hg.n_cells())
-        .all(|i| !matches!(engine.cell_state(CellId(i as u32)), CellState::Traditional { .. }));
+    let exportable = (0..hg.n_cells()).all(|i| {
+        !matches!(
+            engine.cell_state(CellId(i as u32)),
+            CellState::Traditional { .. }
+        )
+    });
+    let replicated_cells = engine.replicated_cells();
+    if recorder.enabled(Level::Debug) {
+        recorder.record(
+            &Event::new("fm", "done", Level::Debug)
+                .field("seed", cfg.seed)
+                .field("cut", engine.cut())
+                .field("passes", passes)
+                .field("balanced", cfg.balanced(engine.areas()))
+                .field("replicated", replicated_cells)
+                .field("stop", format!("{stop:?}")),
+        );
+        recorder.record(&Event::counter("fm", "passes", passes as u64).at(Level::Debug));
+        recorder.record(&Event::counter("fm", "moves", clock.moves() - moves0).at(Level::Debug));
+        if replicated_cells > 0 {
+            // Replication events binned by ψ: which replication
+            // potentials the accepted replicas actually had (paper
+            // eq. 5's d_X(ψ) restricted to the replicated set).
+            let mut bins: Vec<u64> = Vec::new();
+            for (i, &cell_psi) in psi.iter().enumerate().take(hg.n_cells()) {
+                let c = CellId(i as u32);
+                if !matches!(engine.cell_state(c), CellState::Single { .. }) {
+                    let p = cell_psi as usize;
+                    if bins.len() <= p {
+                        bins.resize(p + 1, 0);
+                    }
+                    bins[p] += 1;
+                }
+            }
+            recorder.record(&Event::hist("fm", "replicated_psi", bins).at(Level::Debug));
+        }
+    }
     BipartitionResult {
         cut: engine.cut(),
         areas: engine.areas(),
-        replicated_cells: engine.replicated_cells(),
+        replicated_cells,
         passes,
         balanced: cfg.balanced(engine.areas()),
         stop,
@@ -373,7 +448,9 @@ mod tests {
         let plain = bipartition(&hg, &base);
         let repl = bipartition(
             &hg,
-            &base.clone().with_replication(ReplicationMode::functional(0)),
+            &base
+                .clone()
+                .with_replication(ReplicationMode::functional(0)),
         );
         assert!(plain.balanced && repl.balanced);
         assert!(

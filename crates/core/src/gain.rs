@@ -135,9 +135,7 @@ pub fn best_functional_gain(adj: &AdjacencyMatrix, v: &CellVectors) -> Option<(u
 mod tests {
     use super::*;
     use crate::state::CellState;
-    use netpart_hypergraph::{
-        AdjacencyMatrix, CellKind, Hypergraph, HypergraphBuilder,
-    };
+    use netpart_hypergraph::{AdjacencyMatrix, CellKind, Hypergraph, HypergraphBuilder};
 
     /// Reconstruction of the paper's Fig. 4: a 5-input, 2-output cell with
     /// `A_X1 = {a1,a2,a3}`, `A_X2 = {a3,a4,a5}`. Side 0 holds the cell,

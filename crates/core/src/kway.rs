@@ -36,6 +36,7 @@ use crate::fault::FaultPlan;
 use crate::fm::bipartition_with_clock;
 use netpart_fpga::{try_evaluate, DeviceLibrary, Evaluation};
 use netpart_hypergraph::{CellCopy, CellId, Hypergraph, PartId, Placement};
+use netpart_obs::{Event, Level, Recorder};
 use netpart_rng::Rng;
 
 /// Configuration of the k-way partitioner.
@@ -212,8 +213,19 @@ fn record_part(
     }
 }
 
-fn kway_debug() -> bool {
-    std::env::var_os("NETPART_KWAY_DEBUG").is_some()
+/// Emits the paper-metric gauges for an incumbent evaluation: `$_k`
+/// (eq. 1) as `paper.cost_k`, `k̄` (eq. 2) as `paper.kbar` and the
+/// per-device histogram as `paper.devices`. Shared with the portfolio
+/// engine so both layers report the paper's metrics identically.
+pub fn record_paper_gauges(recorder: &dyn Recorder, eval: &Evaluation, lib: &DeviceLibrary) {
+    recorder.record(&Event::gauge("paper", "cost_k", eval.total_cost as f64));
+    recorder.record(&Event::gauge("paper", "kbar", eval.avg_iob_util));
+    let bins: Vec<u64> = eval
+        .device_histogram(lib.len())
+        .into_iter()
+        .map(|n| n as u64)
+        .collect();
+    recorder.record(&Event::hist("paper", "devices", bins));
 }
 
 /// One carve attempt against `lib` (the possibly-relaxed library):
@@ -262,12 +274,21 @@ fn carve_once(
             devices.push(di);
             continue;
         }
-        if kway_debug() {
-            eprintln!("no fit: area={area} terminals={terminals}");
+        let recorder = clock.recorder();
+        if recorder.enabled(Level::Trace) {
+            recorder.record(
+                &Event::new("kway", "carve.no_fit", Level::Trace)
+                    .field("area", area)
+                    .field("terminals", terminals),
+            );
         }
         if area < 2 {
-            if kway_debug() {
-                eprintln!("piece unsplittable: area={area} terminals={terminals}");
+            if recorder.enabled(Level::Debug) {
+                recorder.record(
+                    &Event::new("kway", "carve.unsplittable", Level::Debug)
+                        .field("area", area)
+                        .field("terminals", terminals),
+                );
             }
             return None; // terminals alone make the piece infeasible
         }
@@ -330,10 +351,13 @@ fn carve_once(
                 return None;
             }
             if !res.balanced {
-                if kway_debug() {
-                    eprintln!(
-                        "split unbalanced: areas {:?}, want [{bounds_min:?}..{bounds_max:?}] of {area}",
-                        res.areas
+                if recorder.enabled(Level::Trace) {
+                    recorder.record(
+                        &Event::new("kway", "carve.split_unbalanced", Level::Trace)
+                            .field("area", area)
+                            .field("got", vec![res.areas[0], res.areas[1]])
+                            .field("want_min", vec![bounds_min[0], bounds_min[1]])
+                            .field("want_max", vec![bounds_max[0], bounds_max[1]]),
                     );
                 }
                 continue;
@@ -344,12 +368,12 @@ fn carve_once(
                     let tcounts = placement.part_terminal_counts(&piece.hypergraph);
                     let dev = lib.device(di);
                     if tcounts[0] as u64 > u64::from(dev.iobs()) {
-                        if kway_debug() {
-                            eprintln!(
-                                "chunk terminals {} > {} ({})",
-                                tcounts[0],
-                                dev.iobs(),
-                                dev.name()
+                        if recorder.enabled(Level::Trace) {
+                            recorder.record(
+                                &Event::new("kway", "carve.chunk_overflow", Level::Trace)
+                                    .field("terminals", tcounts[0])
+                                    .field("iobs", dev.iobs())
+                                    .field("device", dev.name()),
                             );
                         }
                         continue;
@@ -432,7 +456,9 @@ fn run_stage(
     max_attempts: usize,
     feasible_so_far: usize,
     best: &mut Option<BestCandidate>,
+    rung: &'static str,
 ) -> StageOutcome {
+    let recorder = clock.recorder();
     let mut attempts = 0usize;
     let mut feasible = 0usize;
     while attempts < max_attempts && feasible_so_far + feasible < cfg.candidates {
@@ -464,12 +490,33 @@ fn run_stage(
             }
         };
         if better {
+            if recorder.enabled(Level::Info) {
+                recorder.record(
+                    &Event::new("kway", "incumbent", Level::Info)
+                        .field("rung", rung)
+                        .field("attempt", attempts)
+                        .field("cost", eval.total_cost)
+                        .field("kbar", eval.avg_iob_util)
+                        .field("k", eval.k()),
+                );
+                record_paper_gauges(recorder, &eval, lib);
+            }
             *best = Some(BestCandidate {
                 placement,
                 devices,
                 evaluation: eval,
             });
         }
+    }
+    if recorder.enabled(Level::Debug) {
+        recorder.record(
+            &Event::new("kway", "stage", Level::Debug)
+                .field("rung", rung)
+                .field("attempts", attempts)
+                .field("feasible", feasible),
+        );
+        recorder.record(&Event::counter("kway", "attempts", attempts as u64).at(Level::Debug));
+        recorder.record(&Event::counter("kway", "feasible", feasible as u64).at(Level::Debug));
     }
     StageOutcome { attempts, feasible }
 }
@@ -536,6 +583,17 @@ pub fn kway_partition_with_clock(
         }
     }
 
+    let recorder = clock.recorder();
+    if recorder.enabled(Level::Debug) {
+        // The replication-potential distribution d_X(ψ) (paper eq. 5) of
+        // the input — deterministic per circuit, emitted once per run.
+        let bins: Vec<u64> = hg
+            .replication_potential_distribution()
+            .into_iter()
+            .map(|n| n as u64)
+            .collect();
+        recorder.record(&Event::hist("paper", "d_psi", bins).at(Level::Debug));
+    }
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut best: Option<BestCandidate> = None;
     let mut degradation = Degradation {
@@ -557,6 +615,7 @@ pub fn kway_partition_with_clock(
         cfg.max_attempts,
         0,
         &mut best,
+        "base",
     );
     attempts += s.attempts;
     feasible += s.feasible;
@@ -565,7 +624,17 @@ pub fn kway_partition_with_clock(
     // feasible exists and work is still allowed; each rung is recorded
     // whether or not it rescues the run, so the report shows everything
     // that was tried.
+    let escalate_event = |rung: &'static str, attempts_so_far: usize| {
+        if recorder.enabled(Level::Info) {
+            recorder.record(
+                &Event::new("kway", "escalate", Level::Info)
+                    .field("rung", rung)
+                    .field("attempts_so_far", attempts_so_far),
+            );
+        }
+    };
     if cfg.escalate && best.is_none() && clock.stopped().is_none() {
+        escalate_event("reseed", attempts);
         degradation.relaxations.push(Relaxation::Reseeded {
             extra_attempts: cfg.max_attempts,
         });
@@ -580,11 +649,13 @@ pub fn kway_partition_with_clock(
             cfg.max_attempts,
             0,
             &mut best,
+            "reseed",
         );
         attempts += s.attempts;
         feasible += s.feasible;
     }
     let relaxed = if cfg.escalate && best.is_none() && clock.stopped().is_none() {
+        escalate_event("relaxed_floor", attempts);
         degradation.relaxations.push(Relaxation::RelaxedFloor);
         floor_relaxed = true;
         let relaxed = cfg.library.relaxed_floor();
@@ -598,6 +669,7 @@ pub fn kway_partition_with_clock(
             cfg.max_attempts,
             0,
             &mut best,
+            "relaxed_floor",
         );
         attempts += s.attempts;
         feasible += s.feasible;
@@ -606,10 +678,20 @@ pub fn kway_partition_with_clock(
         None
     };
     if cfg.escalate && best.is_none() && clock.stopped().is_none() {
+        escalate_event("larger_device", attempts);
         degradation.relaxations.push(Relaxation::NextLargerDevice);
         let lib = relaxed.as_ref().unwrap_or(&cfg.library);
         let s = run_stage(
-            hg, cfg, lib, true, &mut rng, clock, cfg.max_attempts, 0, &mut best,
+            hg,
+            cfg,
+            lib,
+            true,
+            &mut rng,
+            clock,
+            cfg.max_attempts,
+            0,
+            &mut best,
+            "larger_device",
         );
         attempts += s.attempts;
         feasible += s.feasible;
@@ -618,6 +700,19 @@ pub fn kway_partition_with_clock(
     degradation.completed = feasible.min(cfg.candidates);
     degradation.budget_exhausted = clock.stopped() == Some(StopReason::BudgetExhausted);
     degradation.fault_injected = clock.stopped() == Some(StopReason::FaultInjected);
+
+    if recorder.enabled(Level::Debug) {
+        // Budget consumption at the end of the attempt pools. Note the
+        // clock may be shared across portfolio tasks, in which case
+        // these are pool-wide totals.
+        recorder.record(
+            &Event::new("kway", "budget", Level::Debug)
+                .field("moves", clock.moves())
+                .field("passes", clock.passes())
+                .field("attempts", clock.attempts())
+                .field("stopped", format!("{:?}", clock.stopped())),
+        );
+    }
 
     let Some(mut b) = best else {
         return Err(match clock.stopped() {
@@ -658,6 +753,18 @@ pub fn kway_partition_with_clock(
         crate::refine::refine_kway(hg, &mut b.placement, &b.devices, lib, 4);
         b.evaluation = try_evaluate(hg, &b.placement, lib, &b.devices)
             .map_err(|e| PartitionError::internal(e.to_string()))?;
+    }
+    if recorder.enabled(Level::Info) {
+        recorder.record(
+            &Event::new("kway", "done", Level::Info)
+                .field("cost", b.evaluation.total_cost)
+                .field("kbar", b.evaluation.avg_iob_util)
+                .field("k", b.evaluation.k())
+                .field("attempts", attempts)
+                .field("feasible", feasible)
+                .field("relaxations", degradation.relaxations.len())
+                .field("degraded", degradation.is_degraded()),
+        );
     }
     Ok(KWayResult {
         placement: b.placement,
@@ -795,7 +902,9 @@ mod tests {
 
     #[test]
     fn empty_hypergraph_is_invalid_input() {
-        let hg = netpart_hypergraph::HypergraphBuilder::new().finish().unwrap();
+        let hg = netpart_hypergraph::HypergraphBuilder::new()
+            .finish()
+            .unwrap();
         assert!(matches!(
             kway_partition(&hg, &quick_cfg()),
             Err(PartitionError::InvalidInput { .. })

@@ -58,7 +58,9 @@ pub use error::{Degradation, PartitionError, Relaxation, StopReason};
 pub use extract::{extract_rest, Extraction};
 pub use fault::FaultPlan;
 pub use fm::{bipartition, bipartition_with_clock, BipartitionResult};
-pub use kway::{kway_partition, kway_partition_with_clock, KWayConfig, KWayResult};
+pub use kway::{
+    kway_partition, kway_partition_with_clock, record_paper_gauges, KWayConfig, KWayResult,
+};
 pub use refine::{refine_kway, unreplicate_cleanup, RefineStats};
 pub use runs::{run_many, run_start, MultiRunStats};
 pub use state::{CellState, EngineState};

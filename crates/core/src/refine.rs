@@ -287,10 +287,7 @@ pub fn unreplicate_cleanup(
         }
         let parts: Vec<PartId> = placement.copies(cell).iter().map(|c| c.part).collect();
         let saved = placement.copies(cell).to_vec();
-        let base_terms: usize = placement
-            .part_terminal_counts(hg)
-            .iter()
-            .sum();
+        let base_terms: usize = placement.part_terminal_counts(hg).iter().sum();
         let mut best: Option<(usize, PartId)> = None;
         for &target in &parts {
             placement.unreplicate(cell, target).expect("part in range");

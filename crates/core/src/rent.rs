@@ -94,7 +94,9 @@ pub fn fit_rent(points: &[RentPoint]) -> Option<RentFit> {
         return None;
     }
     let n = logs.len() as f64;
-    let (sx, sy): (f64, f64) = logs.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (sx, sy): (f64, f64) = logs
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
     let sxx: f64 = logs.iter().map(|&(x, _)| x * x).sum();
     let sxy: f64 = logs.iter().map(|&(x, y)| x * y).sum();
     let denom = n * sxx - sx * sx;
@@ -134,13 +136,21 @@ mod tests {
             .collect();
         let fit = fit_rent(&points).unwrap();
         assert!((fit.exponent - 0.6).abs() < 0.05, "p = {}", fit.exponent);
-        assert!((fit.coefficient - 3.0).abs() < 0.6, "t = {}", fit.coefficient);
+        assert!(
+            (fit.coefficient - 3.0).abs() < 0.6,
+            "t = {}",
+            fit.coefficient
+        );
     }
 
     #[test]
     fn fit_needs_enough_points() {
         assert!(fit_rent(&[]).is_none());
-        assert!(fit_rent(&[RentPoint { cells: 4, terminals: 4 }]).is_none());
+        assert!(fit_rent(&[RentPoint {
+            cells: 4,
+            terminals: 4
+        }])
+        .is_none());
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl MultiRunStats {
         if balanced.is_empty() {
             return f64::NAN;
         }
-        balanced.iter().map(|r| r.replicated_cells as f64).sum::<f64>() / balanced.len() as f64
+        balanced
+            .iter()
+            .map(|r| r.replicated_cells as f64)
+            .sum::<f64>()
+            / balanced.len() as f64
     }
 }
 
@@ -189,7 +193,9 @@ mod tests {
         let plain = run_many(&hg, &base, 5).unwrap();
         let repl = run_many(
             &hg,
-            &base.clone().with_replication(ReplicationMode::functional(0)),
+            &base
+                .clone()
+                .with_replication(ReplicationMode::functional(0)),
             5,
         )
         .unwrap();

@@ -8,9 +8,7 @@
 //! (drivers on both sides) output nets drop out of the cut, exactly as
 //! the paper's gain eq. 8 accounts.
 
-use netpart_hypergraph::{
-    CellCopy, CellId, Hypergraph, NetId, PartId, Pin, Placement,
-};
+use netpart_hypergraph::{CellCopy, CellId, Hypergraph, NetId, PartId, Pin, Placement};
 
 /// Placement/replication state of one cell in a bipartition.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -167,10 +165,7 @@ impl<'a> EngineState<'a> {
     }
 
     /// `(net, pin)` pairs of a cell, one per pin.
-    pub(crate) fn cell_pins(
-        hg: &Hypergraph,
-        c: CellId,
-    ) -> impl Iterator<Item = (NetId, Pin)> + '_ {
+    pub(crate) fn cell_pins(hg: &Hypergraph, c: CellId) -> impl Iterator<Item = (NetId, Pin)> + '_ {
         let cell = hg.cell(c);
         cell.input_nets()
             .iter()
@@ -536,8 +531,8 @@ mod tests {
         let sides = vec![0, 0, 0, 0, 1, 1];
         let mut st = EngineState::new(&hg, &sides);
         assert_eq!(st.cut(), 2); // nx, ny exported
-        // Traditional replication: copies on both sides drive nx and ny,
-        // so both leave the cut; inputs a,b,c all become cut.
+                                 // Traditional replication: copies on both sides drive nx and ny,
+                                 // so both leave the cut; inputs a,b,c all become cut.
         let new = CellState::Traditional { orig_side: 0 };
         assert_eq!(st.peek_gain(m, new), 2 - 3);
         st.set_state(m, new);

@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn errors_are_not_cached() {
         let cache: ResultCache<u32> = ResultCache::new();
-        assert_eq!(cache.try_get_or_compute(3, || Err::<u32, _>("boom")), Err("boom"));
+        assert_eq!(
+            cache.try_get_or_compute(3, || Err::<u32, _>("boom")),
+            Err("boom")
+        );
         let (v, hit) = cache.try_get_or_compute(3, || Ok::<_, &str>(9)).unwrap();
         assert_eq!((*v, hit), (9, false));
     }

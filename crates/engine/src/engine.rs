@@ -3,11 +3,12 @@
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::portfolio::{
-    bipartition_key, kway_key, portfolio_bipartition, portfolio_kway, KWayPortfolioResult,
-    PortfolioResult,
+    bipartition_key, kway_key, portfolio_bipartition_traced, portfolio_kway_traced,
+    KWayPortfolioResult, PortfolioResult,
 };
 use netpart_core::{BipartitionConfig, KWayConfig, PartitionError};
 use netpart_hypergraph::Hypergraph;
+use netpart_obs::{Event, Level, NoopRecorder, Recorder};
 use std::sync::Arc;
 
 /// A portfolio engine instance: thread count plus (optionally) a
@@ -23,12 +24,25 @@ use std::sync::Arc;
 /// is part of the key): a cache hit then simply replays the degraded
 /// solution the budget originally allowed, which keeps repeated
 /// requests consistent with each other.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     jobs: usize,
     cache_enabled: bool,
+    recorder: Arc<dyn Recorder>,
     bipartitions: ResultCache<PortfolioResult>,
     kways: ResultCache<KWayPortfolioResult>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            jobs: 1,
+            cache_enabled: false,
+            recorder: Arc::new(NoopRecorder),
+            bipartitions: ResultCache::default(),
+            kways: ResultCache::default(),
+        }
+    }
 }
 
 impl Engine {
@@ -47,6 +61,16 @@ impl Engine {
         self
     }
 
+    /// Attaches a telemetry recorder: portfolio runs launched through
+    /// this engine emit their deterministic trace into it (see
+    /// [`portfolio_bipartition_traced`]), and cache lookups emit
+    /// `engine.cache` hit/miss events.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The configured worker-thread count.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -57,9 +81,23 @@ impl Engine {
         self.cache_enabled
     }
 
+    fn record_cache(&self, kind: &'static str, hit: bool) {
+        if self.recorder.enabled(Level::Debug) {
+            self.recorder.record(
+                &Event::new("engine", "cache", Level::Debug)
+                    .field("kind", kind)
+                    .field("hit", hit),
+            );
+            let name = if hit { "cache_hits" } else { "cache_misses" };
+            self.recorder
+                .record(&Event::counter("engine", name, 1).at(Level::Debug));
+        }
+    }
+
     /// Runs (or serves from cache) a multi-start bipartition portfolio;
-    /// see [`portfolio_bipartition`] for semantics and errors. The
-    /// second return value is `true` on a cache hit.
+    /// see [`portfolio_bipartition`](crate::portfolio_bipartition) for
+    /// semantics and errors. The second return value is `true` on a
+    /// cache hit.
     pub fn bipartition_many(
         &self,
         hg: &Hypergraph,
@@ -67,17 +105,23 @@ impl Engine {
         n: usize,
     ) -> Result<(Arc<PortfolioResult>, bool), PartitionError> {
         if !self.cache_enabled {
-            return portfolio_bipartition(hg, base, n, self.jobs).map(|r| (Arc::new(r), false));
+            return portfolio_bipartition_traced(hg, base, n, self.jobs, &self.recorder)
+                .map(|r| (Arc::new(r), false));
         }
-        self.bipartitions
+        let out = self
+            .bipartitions
             .try_get_or_compute(bipartition_key(hg, base, n), || {
-                portfolio_bipartition(hg, base, n, self.jobs)
-            })
+                portfolio_bipartition_traced(hg, base, n, self.jobs, &self.recorder)
+            });
+        if let Ok((_, hit)) = &out {
+            self.record_cache("bipartition", *hit);
+        }
+        out
     }
 
     /// Runs (or serves from cache) a k-way carving portfolio; see
-    /// [`portfolio_kway`] for semantics and errors. The second return
-    /// value is `true` on a cache hit.
+    /// [`portfolio_kway`](crate::portfolio_kway) for semantics and
+    /// errors. The second return value is `true` on a cache hit.
     pub fn kway(
         &self,
         hg: &Hypergraph,
@@ -85,11 +129,16 @@ impl Engine {
         tasks: usize,
     ) -> Result<(Arc<KWayPortfolioResult>, bool), PartitionError> {
         if !self.cache_enabled {
-            return portfolio_kway(hg, cfg, tasks, self.jobs).map(|r| (Arc::new(r), false));
+            return portfolio_kway_traced(hg, cfg, tasks, self.jobs, &self.recorder)
+                .map(|r| (Arc::new(r), false));
         }
-        self.kways.try_get_or_compute(kway_key(hg, cfg, tasks), || {
-            portfolio_kway(hg, cfg, tasks, self.jobs)
-        })
+        let out = self.kways.try_get_or_compute(kway_key(hg, cfg, tasks), || {
+            portfolio_kway_traced(hg, cfg, tasks, self.jobs, &self.recorder)
+        });
+        if let Ok((_, hit)) = &out {
+            self.record_cache("kway", *hit);
+        }
+        out
     }
 
     /// Combined hit/miss/size counters over both caches.

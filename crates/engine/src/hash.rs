@@ -350,7 +350,10 @@ mod tests {
         );
         assert_ne!(
             base,
-            hg_cfg.clone().with_budget(Budget::wall_ms(5)).content_hash()
+            hg_cfg
+                .clone()
+                .with_budget(Budget::wall_ms(5))
+                .content_hash()
         );
         assert_ne!(
             base,
@@ -381,7 +384,9 @@ mod tests {
 
         const PINNED_NETLIST: u64 = 10_953_375_322_622_017_509;
         let nl = netpart_netlist::generate(
-            &netpart_netlist::GeneratorConfig::new(60).with_dff(5).with_seed(42),
+            &netpart_netlist::GeneratorConfig::new(60)
+                .with_dff(5)
+                .with_seed(42),
         );
         assert_eq!(nl.content_hash(), PINNED_NETLIST);
         assert_eq!(nl.content_hash(), nl.clone().content_hash());

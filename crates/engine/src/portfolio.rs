@@ -38,10 +38,44 @@ use netpart_core::{
     CancelToken, Degradation, KWayConfig, KWayResult, PartitionError, RunClock, StopReason,
 };
 use netpart_hypergraph::Hypergraph;
+use netpart_obs::{BufferRecorder, Event, Level, NoopRecorder, Recorder, TIMING_SCOPE};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A shareable no-op recorder for the untraced entry points.
+fn noop_recorder() -> Arc<dyn Recorder> {
+    Arc::new(NoopRecorder)
+}
+
+/// Emits the scheduling-timeline claim event for one worker picking up
+/// one unit of work. Reserved-scope: stripped whole-line by determinism
+/// checks.
+fn record_claim(recorder: &dyn Recorder, worker: usize, unit: usize) {
+    if recorder.enabled(Level::Debug) {
+        recorder.record(
+            &Event::new(TIMING_SCOPE, "claim", Level::Debug)
+                .field("worker", worker)
+                .field("unit", unit),
+        );
+    }
+}
+
+/// Emits the scheduling-timeline per-worker summary. Reserved-scope.
+fn record_worker(recorder: &dyn Recorder, stats: &WorkerStats) {
+    if recorder.enabled(Level::Debug) {
+        recorder.record(
+            &Event::new(TIMING_SCOPE, "worker", Level::Debug)
+                .field("worker", stats.worker)
+                .field("starts", stats.starts)
+                .field("passes", stats.passes)
+                .field("moves", stats.moves)
+                .field("cutoff_hits", stats.cutoff_hits)
+                .field("wall_ms", stats.wall_ms),
+        );
+    }
+}
 
 /// Work observed by one portfolio worker thread.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -215,6 +249,23 @@ pub fn portfolio_bipartition(
     n: usize,
     jobs: usize,
 ) -> Result<PortfolioResult, PartitionError> {
+    portfolio_bipartition_traced(hg, base, n, jobs, &noop_recorder())
+}
+
+/// [`portfolio_bipartition`] with telemetry: per-start events (FM pass
+/// trajectories, run summaries) are buffered on each worker and
+/// **replayed into `recorder` in ascending start order after the
+/// join**, so the deterministic part of the trace is identical at every
+/// `jobs` level. Live scheduling events (claims, worker summaries) go
+/// straight to the recorder under the reserved
+/// [`TIMING_SCOPE`] and are dropped by determinism checks.
+pub fn portfolio_bipartition_traced(
+    hg: &Hypergraph,
+    base: &BipartitionConfig,
+    n: usize,
+    jobs: usize,
+    recorder: &Arc<dyn Recorder>,
+) -> Result<PortfolioResult, PartitionError> {
     if n == 0 {
         return Err(PartitionError::invalid_input(
             "portfolio needs at least one start",
@@ -244,7 +295,8 @@ pub fn portfolio_bipartition(
     let next = AtomicUsize::new(0);
     let budget_seen = AtomicBool::new(false);
     let fault_seen = AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<StartOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    type BipartitionSlot = Option<(StartOutcome, Vec<Event>)>;
+    let slots: Vec<Mutex<BipartitionSlot>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
@@ -253,6 +305,7 @@ pub fn portfolio_bipartition(
                 let (incumbent, next, slots) = (&incumbent, &next, &slots);
                 let (budget_seen, fault_seen) = (&budget_seen, &fault_seen);
                 let per_start = &per_start;
+                let recorder = &recorder;
                 scope.spawn(move || {
                     let mut stats = WorkerStats {
                         worker: w,
@@ -263,6 +316,7 @@ pub fn portfolio_bipartition(
                         if i >= n {
                             break;
                         }
+                        record_claim(recorder.as_ref(), w, i);
                         if i > 0 {
                             // A perfect incumbent makes every unclaimed
                             // (higher) index provably useless.
@@ -288,6 +342,8 @@ pub fn portfolio_bipartition(
                             stats.cutoff_hits += 1;
                             break;
                         }
+                        let buffer: Arc<BufferRecorder> =
+                            Arc::new(BufferRecorder::mirroring(recorder.as_ref()));
                         let clock = if i == 0 {
                             RunClock::with_shared(per_start, &base.fault, None, None)
                         } else {
@@ -297,7 +353,8 @@ pub fn portfolio_bipartition(
                                 deadline,
                                 Some(cancel.clone()),
                             )
-                        };
+                        }
+                        .with_recorder(buffer.clone());
                         let run_t0 = Instant::now();
                         let panic_here = base.fault.panic_in_worker == Some(i as u64);
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -360,9 +417,10 @@ pub fn portfolio_bipartition(
                             }
                         };
                         if let Ok(mut slot) = slots[i].lock() {
-                            *slot = Some(outcome);
+                            *slot = Some((outcome, buffer.take()));
                         }
                     }
+                    record_worker(recorder.as_ref(), &stats);
                     stats
                 })
             })
@@ -374,28 +432,72 @@ pub fn portfolio_bipartition(
     });
 
     // Deterministic reduction in fixed seed order.
-    let mut results: Vec<StartResult> = Vec::new();
+    let mut recorded: Vec<(StartResult, Vec<Event>)> = Vec::new();
     for (i, slot) in slots.into_iter().enumerate() {
         let outcome = slot
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(StartOutcome::Recorded(result)) = outcome {
-            results.push(StartResult { index: i, result });
+        if let Some((StartOutcome::Recorded(result), events)) = outcome {
+            recorded.push((StartResult { index: i, result }, events));
         }
     }
     // Discard anything past a perfect winner, so the early-exit set is
     // jobs-invariant (starts past the winner were provably useless).
-    let perfect_cutoff = results
+    let perfect_cutoff = recorded
         .iter()
-        .find(|s| s.result.balanced && s.result.cut == 0)
-        .map(|s| s.index);
+        .find(|(s, _)| s.result.balanced && s.result.cut == 0)
+        .map(|(s, _)| s.index);
     let requested = match perfect_cutoff {
         Some(j) => {
-            results.retain(|s| s.index <= j);
-            results.len()
+            recorded.retain(|(s, _)| s.index <= j);
+            recorded.len()
         }
         None => n,
     };
+
+    // Deterministic trace replay: now that the recorded set is final
+    // and jobs-invariant, emit each start's header, its buffered
+    // events, and the incumbent trajectory in ascending index order —
+    // exactly the sequence a jobs=1 run produces.
+    if recorder.enabled(Level::Info) {
+        recorder.record(
+            &Event::new("portfolio", "begin", Level::Info)
+                .field("kind", "bipartition")
+                .field("starts", n)
+                .timing("jobs", jobs),
+        );
+    }
+    let mut incumbent_cut: Option<usize> = None;
+    let mut results: Vec<StartResult> = Vec::with_capacity(recorded.len());
+    for (s, events) in recorded {
+        if recorder.enabled(Level::Info) {
+            recorder.record(
+                &Event::new("portfolio", "start", Level::Info)
+                    .field("index", s.index)
+                    .field("cut", s.result.cut)
+                    .field("balanced", s.result.balanced)
+                    .field("replicated", s.result.replicated_cells)
+                    .field("passes", s.result.passes)
+                    .field("stop", format!("{:?}", s.result.stop)),
+            );
+        }
+        for e in &events {
+            recorder.record(e);
+        }
+        if s.result.balanced && incumbent_cut.is_none_or(|c| s.result.cut < c) {
+            incumbent_cut = Some(s.result.cut);
+            if recorder.enabled(Level::Info) {
+                recorder.record(
+                    &Event::new("portfolio", "incumbent", Level::Info)
+                        .field("index", s.index)
+                        .field("cut", s.result.cut),
+                );
+                recorder.record(&Event::gauge("portfolio", "best_cut", s.result.cut as f64));
+            }
+        }
+        results.push(s);
+    }
+
     let degradation = Degradation {
         requested,
         completed: results.len(),
@@ -409,6 +511,22 @@ pub fn portfolio_bipartition(
         .filter(|(_, s)| s.result.balanced)
         .min_by_key(|(_, s)| (s.result.cut, s.index))
         .map(|(pos, _)| pos);
+    if recorder.enabled(Level::Info) {
+        let mut e = Event::new("portfolio", "summary", Level::Info)
+            .field("recorded", results.len())
+            .field("requested", requested)
+            .field("budget_exhausted", degradation.budget_exhausted)
+            .field("fault_injected", degradation.fault_injected);
+        if let Some(bp) = best_pos {
+            e = e
+                .field("best_index", results[bp].index)
+                .field("best_cut", results[bp].result.cut);
+        }
+        recorder.record(
+            &e.timing("wall_ms", t0.elapsed().as_millis() as u64)
+                .timing("jobs", jobs),
+        );
+    }
     match best_pos {
         Some(best_pos) => Ok(PortfolioResult {
             results,
@@ -474,6 +592,9 @@ fn kway_task_config(cfg: &KWayConfig, t: usize, tasks: usize, escalate: bool) ->
 struct KWayPhaseOutcome {
     results: Vec<(usize, KWayResult)>,
     errors: Vec<(usize, PartitionError)>,
+    /// Buffered per-task telemetry, `(task, events)`, for every task
+    /// whose slot was filled — replayed by the caller in task order.
+    events: Vec<(usize, Vec<Event>)>,
     workers: Vec<WorkerStats>,
     budget_seen: bool,
     fault_seen: bool,
@@ -489,6 +610,7 @@ fn kway_phase(
     jobs: usize,
     escalate: bool,
     deadline: Option<Instant>,
+    recorder: &Arc<dyn Recorder>,
 ) -> KWayPhaseOutcome {
     let per_task = Budget {
         wall_ms: None,
@@ -498,8 +620,8 @@ fn kway_phase(
     let next = AtomicUsize::new(0);
     let budget_seen = AtomicBool::new(false);
     let fault_seen = AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<Result<KWayResult, PartitionError>>>> =
-        (0..tasks).map(|_| Mutex::new(None)).collect();
+    type KWaySlot = Option<(Result<KWayResult, PartitionError>, Vec<Event>)>;
+    let slots: Vec<Mutex<KWaySlot>> = (0..tasks).map(|_| Mutex::new(None)).collect();
 
     let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs.clamp(1, tasks))
@@ -508,6 +630,7 @@ fn kway_phase(
                 let (next, slots) = (&next, &slots);
                 let (budget_seen, fault_seen) = (&budget_seen, &fault_seen);
                 let per_task = &per_task;
+                let recorder = &recorder;
                 scope.spawn(move || {
                     let mut stats = WorkerStats {
                         worker: w,
@@ -518,6 +641,7 @@ fn kway_phase(
                         if t >= tasks {
                             break;
                         }
+                        record_claim(recorder.as_ref(), w, t);
                         if t > 0 {
                             if cancel.is_cancelled() {
                                 stats.cutoff_hits += 1;
@@ -536,6 +660,8 @@ fn kway_phase(
                             break;
                         }
                         let task_cfg = kway_task_config(cfg, t, tasks, escalate);
+                        let buffer: Arc<BufferRecorder> =
+                            Arc::new(BufferRecorder::mirroring(recorder.as_ref()));
                         let clock = if t == 0 {
                             RunClock::with_shared(per_task, &cfg.fault, None, None)
                         } else {
@@ -545,7 +671,8 @@ fn kway_phase(
                                 deadline,
                                 Some(cancel.clone()),
                             )
-                        };
+                        }
+                        .with_recorder(buffer.clone());
                         let run_t0 = Instant::now();
                         let panic_here = cfg.fault.panic_in_worker == Some(t as u64);
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -585,9 +712,10 @@ fn kway_phase(
                             Err(_) => {}
                         }
                         if let Ok(mut slot) = slots[t].lock() {
-                            *slot = Some(res);
+                            *slot = Some((res, buffer.take()));
                         }
                     }
+                    record_worker(recorder.as_ref(), &stats);
                     stats
                 })
             })
@@ -600,19 +728,27 @@ fn kway_phase(
 
     let mut results = Vec::new();
     let mut errors = Vec::new();
+    let mut events = Vec::new();
     for (t, slot) in slots.into_iter().enumerate() {
         match slot
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
         {
-            Some(Ok(r)) => results.push((t, r)),
-            Some(Err(e)) => errors.push((t, e)),
+            Some((Ok(r), evs)) => {
+                results.push((t, r));
+                events.push((t, evs));
+            }
+            Some((Err(e), evs)) => {
+                errors.push((t, e));
+                events.push((t, evs));
+            }
             None => {}
         }
     }
     KWayPhaseOutcome {
         results,
         errors,
+        events,
         workers,
         budget_seen: budget_seen.load(Ordering::Acquire),
         fault_seen: fault_seen.load(Ordering::Acquire),
@@ -658,6 +794,84 @@ pub fn portfolio_kway(
     tasks: usize,
     jobs: usize,
 ) -> Result<KWayPortfolioResult, PartitionError> {
+    portfolio_kway_traced(hg, cfg, tasks, jobs, &noop_recorder())
+}
+
+/// A short deterministic label for a task's typed error, for trace
+/// headers.
+fn error_label(e: &PartitionError) -> &'static str {
+    match e {
+        PartitionError::InvalidInput { .. } => "invalid_input",
+        PartitionError::InfeasibleLibrary { .. } => "infeasible",
+        PartitionError::BudgetExhausted { .. } => "budget_exhausted",
+        PartitionError::InternalInvariant { .. } => "internal",
+    }
+}
+
+/// Replays one k-way phase's buffered telemetry in ascending task
+/// order: a `portfolio.task` header, the task's buffered events, and
+/// the incumbent trajectory (with the paper-metric gauges) whenever the
+/// running best improves. Returns with `incumbent` updated.
+fn replay_kway_phase(
+    recorder: &dyn Recorder,
+    phase: &KWayPhaseOutcome,
+    phase_name: &'static str,
+    lib: &netpart_fpga::DeviceLibrary,
+    incumbent: &mut Option<(u64, f64)>,
+) {
+    for (t, events) in &phase.events {
+        if recorder.enabled(Level::Info) {
+            let mut e = Event::new("portfolio", "task", Level::Info)
+                .field("task", *t)
+                .field("phase", phase_name);
+            if let Some((_, r)) = phase.results.iter().find(|(rt, _)| rt == t) {
+                e = e
+                    .field("status", "ok")
+                    .field("cost", r.evaluation.total_cost)
+                    .field("kbar", r.evaluation.avg_iob_util)
+                    .field("k", r.evaluation.k())
+                    .field("attempts", r.attempts)
+                    .field("feasible", r.feasible_found);
+            } else if let Some((_, err)) = phase.errors.iter().find(|(et, _)| et == t) {
+                e = e.field("status", error_label(err));
+            }
+            recorder.record(&e);
+        }
+        for ev in events {
+            recorder.record(ev);
+        }
+        if let Some((_, r)) = phase.results.iter().find(|(rt, _)| rt == t) {
+            let key = (r.evaluation.total_cost, r.evaluation.avg_iob_util);
+            if incumbent.is_none_or(|best| key < best) {
+                *incumbent = Some(key);
+                if recorder.enabled(Level::Info) {
+                    recorder.record(
+                        &Event::new("portfolio", "incumbent", Level::Info)
+                            .field("task", *t)
+                            .field("cost", r.evaluation.total_cost)
+                            .field("kbar", r.evaluation.avg_iob_util)
+                            .field("k", r.evaluation.k()),
+                    );
+                    netpart_core::record_paper_gauges(recorder, &r.evaluation, lib);
+                }
+            }
+        }
+    }
+}
+
+/// [`portfolio_kway`] with telemetry, under the same replay contract as
+/// [`portfolio_bipartition_traced`]: per-task events are buffered on
+/// the workers and replayed in ascending task order after each phase
+/// joins, so fixed-seed traces are identical at every `jobs` level
+/// (wall-budgeted runs excepted — which tasks survive a mid-flight
+/// deadline is inherently timing-dependent, exactly as for results).
+pub fn portfolio_kway_traced(
+    hg: &Hypergraph,
+    cfg: &KWayConfig,
+    tasks: usize,
+    jobs: usize,
+    recorder: &Arc<dyn Recorder>,
+) -> Result<KWayPortfolioResult, PartitionError> {
     if tasks == 0 {
         return Err(PartitionError::invalid_input(
             "portfolio needs at least one task",
@@ -672,7 +886,24 @@ pub fn portfolio_kway(
     let deadline = shared_deadline(&cfg.budget);
     let mut workers = Vec::new();
 
-    let phase_a = kway_phase(hg, cfg, tasks, jobs, false, deadline);
+    if recorder.enabled(Level::Info) {
+        recorder.record(
+            &Event::new("portfolio", "begin", Level::Info)
+                .field("kind", "kway")
+                .field("tasks", tasks)
+                .field("candidates", cfg.candidates)
+                .timing("jobs", jobs),
+        );
+    }
+    let mut incumbent: Option<(u64, f64)> = None;
+    let phase_a = kway_phase(hg, cfg, tasks, jobs, false, deadline, recorder);
+    replay_kway_phase(
+        recorder.as_ref(),
+        &phase_a,
+        "base",
+        &cfg.library,
+        &mut incumbent,
+    );
     let mut budget_seen = phase_a.budget_seen;
     let mut fault_seen = phase_a.fault_seen;
     let mut errors = phase_a.errors;
@@ -683,7 +914,17 @@ pub fn portfolio_kway(
     if picked.is_empty() && !budget_seen && !fault_seen && cfg.escalate {
         // Rescue phase: nothing feasible anywhere — climb the ladder.
         rescued = true;
-        let phase_b = kway_phase(hg, cfg, tasks, jobs, true, deadline);
+        if recorder.enabled(Level::Info) {
+            recorder.record(&Event::new("portfolio", "rescue", Level::Info).field("tasks", tasks));
+        }
+        let phase_b = kway_phase(hg, cfg, tasks, jobs, true, deadline, recorder);
+        replay_kway_phase(
+            recorder.as_ref(),
+            &phase_b,
+            "rescue",
+            &cfg.library,
+            &mut incumbent,
+        );
         budget_seen |= phase_b.budget_seen;
         fault_seen |= phase_b.fault_seen;
         errors = phase_b.errors;
@@ -697,6 +938,24 @@ pub fn portfolio_kway(
             .partial_cmp(&(b.evaluation.total_cost, b.evaluation.avg_iob_util, *tb))
             .unwrap_or(std::cmp::Ordering::Equal)
     });
+
+    if recorder.enabled(Level::Info) {
+        let mut e = Event::new("portfolio", "summary", Level::Info)
+            .field("tasks", tasks)
+            .field("feasible_tasks", feasible_tasks)
+            .field("rescued", rescued);
+        if let Some((t, r)) = &winner {
+            e = e
+                .field("winner", *t)
+                .field("cost", r.evaluation.total_cost)
+                .field("kbar", r.evaluation.avg_iob_util)
+                .field("k", r.evaluation.k());
+        }
+        recorder.record(
+            &e.timing("wall_ms", t0.elapsed().as_millis() as u64)
+                .timing("jobs", jobs),
+        );
+    }
 
     match winner {
         Some((t, mut result)) => {

@@ -143,8 +143,12 @@ fn cache_replays_identical_results() {
     let hg = mapped(200, 10, 4);
     let cfg = BipartitionConfig::equal(&hg, 0.1).with_seed(2);
     let engine = Engine::new(2).with_cache(true);
-    let (first, hit1) = engine.bipartition_many(&hg, &cfg, 4).expect("first request");
-    let (second, hit2) = engine.bipartition_many(&hg, &cfg, 4).expect("second request");
+    let (first, hit1) = engine
+        .bipartition_many(&hg, &cfg, 4)
+        .expect("first request");
+    let (second, hit2) = engine
+        .bipartition_many(&hg, &cfg, 4)
+        .expect("second request");
     assert!(!hit1 && hit2, "second identical request must hit");
     assert!(
         std::sync::Arc::ptr_eq(&first, &second),
@@ -174,4 +178,62 @@ fn engine_facade_is_jobs_invariant_too() {
         .0
         .fingerprint(&hg);
     assert_eq!(a, b);
+}
+
+#[test]
+fn trace_skeleton_is_jobs_invariant() {
+    // The observability contract at the library level: capture every
+    // event in a BufferRecorder at each jobs level, reduce each event
+    // to its deterministic skeleton (drop reserved-scope events, drop
+    // timing fields), and demand identical JSONL.
+    use netpart_engine::{portfolio_bipartition_traced, portfolio_kway_traced};
+    use netpart_obs::{to_jsonl, BufferRecorder, Recorder};
+    use std::sync::Arc;
+
+    let hg = mapped(400, 20, 3);
+    let skeleton = |buffer: &BufferRecorder| -> String {
+        let events: Vec<_> = buffer
+            .take()
+            .iter()
+            .filter_map(netpart_obs::Event::deterministic_skeleton)
+            .collect();
+        assert!(!events.is_empty(), "expected a non-empty trace");
+        to_jsonl(&events)
+    };
+
+    let cfg = BipartitionConfig::equal(&hg, 0.1)
+        .with_seed(10)
+        .with_replication(ReplicationMode::functional(0));
+    let trace_bipartition = |jobs: usize| -> String {
+        let buffer = Arc::new(BufferRecorder::new());
+        let recorder: Arc<dyn Recorder> = Arc::clone(&buffer) as Arc<dyn Recorder>;
+        portfolio_bipartition_traced(&hg, &cfg, 6, jobs, &recorder).expect("portfolio runs");
+        skeleton(&buffer)
+    };
+    let reference = trace_bipartition(1);
+    for jobs in JOBS_LEVELS {
+        assert_eq!(
+            trace_bipartition(jobs),
+            reference,
+            "bipartition trace skeleton diverged at jobs={jobs}"
+        );
+    }
+
+    let kcfg = KWayConfig::new(DeviceLibrary::xc3000())
+        .with_candidates(3)
+        .with_seed(4);
+    let trace_kway = |jobs: usize| -> String {
+        let buffer = Arc::new(BufferRecorder::new());
+        let recorder: Arc<dyn Recorder> = Arc::clone(&buffer) as Arc<dyn Recorder>;
+        portfolio_kway_traced(&hg, &kcfg, 3, jobs, &recorder).expect("kway portfolio runs");
+        skeleton(&buffer)
+    };
+    let kreference = trace_kway(1);
+    for jobs in JOBS_LEVELS {
+        assert_eq!(
+            trace_kway(jobs),
+            kreference,
+            "kway trace skeleton diverged at jobs={jobs}"
+        );
+    }
 }

@@ -86,8 +86,7 @@ fn bipartition_survives_a_panicking_worker_at_every_start() {
 #[test]
 fn a_lone_worker_killed_at_the_first_start_is_a_typed_error() {
     let hg = mapped(120, 3);
-    let cfg = BipartitionConfig::equal(&hg, 0.1)
-        .with_fault(FaultPlan::none().kill_start(0));
+    let cfg = BipartitionConfig::equal(&hg, 0.1).with_fault(FaultPlan::none().kill_start(0));
     // jobs=1: the only worker dies before running anything.
     match portfolio_bipartition(&hg, &cfg, 4, 1) {
         Err(PartitionError::BudgetExhausted { budget, completed }) => {

@@ -12,17 +12,18 @@ fn kway_move_budget_across_jobs() {
     let hg = map(&nl, &MapperConfig::xc3000())
         .expect("maps")
         .to_hypergraph(&nl);
-    let describe = |r: &Result<netpart_engine::KWayPortfolioResult, netpart_core::PartitionError>| match r {
-        Ok(r) => format!(
-            "Ok(winner={}, feasible={}, cost={}, rescued={}, budget_exhausted={})",
-            r.winner,
-            r.feasible_tasks,
-            r.result.evaluation.total_cost,
-            r.rescued,
-            r.result.degradation.budget_exhausted
-        ),
-        Err(e) => format!("Err({e})"),
-    };
+    let describe =
+        |r: &Result<netpart_engine::KWayPortfolioResult, netpart_core::PartitionError>| match r {
+            Ok(r) => format!(
+                "Ok(winner={}, feasible={}, cost={}, rescued={}, budget_exhausted={})",
+                r.winner,
+                r.feasible_tasks,
+                r.result.evaluation.total_cost,
+                r.rescued,
+                r.result.degradation.budget_exhausted
+            ),
+            Err(e) => format!("Err({e})"),
+        };
     let mut diverged = Vec::new();
     for moves in [500u64, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000] {
         let cfg = KWayConfig::new(DeviceLibrary::xc3000())

@@ -36,9 +36,7 @@ impl Device {
     ) -> Self {
         match Device::try_new(name, clbs, iobs, price, min_util, max_util) {
             Ok(d) => d,
-            Err(FpgaError::InvalidDevice { what, .. })
-                if what.contains("capacities") =>
-            {
+            Err(FpgaError::InvalidDevice { what, .. }) if what.contains("capacities") => {
                 panic!("device capacities must be positive")
             }
             Err(_) => panic!("utilization bounds must satisfy 0 ≤ l ≤ u ≤ 1"),

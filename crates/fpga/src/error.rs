@@ -53,7 +53,10 @@ impl fmt::Display for FpgaError {
                 "placement has {parts} parts but only {devices} device assignments"
             ),
             FpgaError::DeviceIndexOutOfRange { index, len } => {
-                write!(f, "device index {index} out of range for a library of {len}")
+                write!(
+                    f,
+                    "device index {index} out of range for a library of {len}"
+                )
             }
         }
     }

@@ -114,13 +114,12 @@ pub fn try_evaluate(
         if clbs == 0 && terminals == 0 {
             continue;
         }
-        let dev: &Device =
-            library
-                .get(devices[p])
-                .ok_or(FpgaError::DeviceIndexOutOfRange {
-                    index: devices[p],
-                    len: library.len(),
-                })?;
+        let dev: &Device = library
+            .get(devices[p])
+            .ok_or(FpgaError::DeviceIndexOutOfRange {
+                index: devices[p],
+                len: library.len(),
+            })?;
         let ok = dev.fits(clbs, terminals);
         feasible &= ok;
         total_cost += dev.price();

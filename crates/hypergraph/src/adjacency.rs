@@ -176,7 +176,12 @@ impl AdjacencyMatrix {
 
 impl fmt::Debug for AdjacencyMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AdjacencyMatrix({}x{})[", self.m_outputs(), self.n_inputs)?;
+        write!(
+            f,
+            "AdjacencyMatrix({}x{})[",
+            self.m_outputs(),
+            self.n_inputs
+        )?;
         for (i, r) in self.rows.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -231,8 +236,14 @@ mod tests {
     #[test]
     fn support_of_mask_unions_rows() {
         let adj = AdjacencyMatrix::from_rows(5, &[&[0, 1, 2, 3], &[3, 4]]);
-        assert_eq!(adj.support_of_mask(0b01).iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
-        assert_eq!(adj.support_of_mask(0b10).iter_ones().collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(
+            adj.support_of_mask(0b01).iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            adj.support_of_mask(0b10).iter_ones().collect::<Vec<_>>(),
+            vec![3, 4]
+        );
         assert_eq!(adj.support_of_mask(0b11).norm(), 5);
         assert_eq!(adj.support_of_mask(0).norm(), 0);
     }

@@ -224,13 +224,7 @@ mod tests {
     #[test]
     fn double_connection_rejected() {
         let mut b = HypergraphBuilder::new();
-        let g = b.add_cell(
-            "g",
-            CellKind::logic(1),
-            1,
-            1,
-            AdjacencyMatrix::full(1, 1),
-        );
+        let g = b.add_cell("g", CellKind::logic(1), 1, 1, AdjacencyMatrix::full(1, 1));
         let n = b.add_net("n");
         let m = b.add_net("m");
         b.connect_input(n, g, 0).unwrap();
@@ -246,18 +240,15 @@ mod tests {
         let pi = b.add_cell("pi", CellKind::input_pad(), 0, 1, AdjacencyMatrix::pad());
         let n = b.add_net("n");
         b.connect_output(n, pi, 0).unwrap();
-        let g = b.add_cell(
-            "g",
-            CellKind::logic(1),
-            1,
-            1,
-            AdjacencyMatrix::full(1, 1),
-        );
+        let g = b.add_cell("g", CellKind::logic(1), 1, 1, AdjacencyMatrix::full(1, 1));
         b.connect_input(n, g, 0).unwrap();
         // g's output pin is dangling.
         assert!(matches!(
             b.finish(),
-            Err(BuildError::DanglingPin { pin: Pin::Output(0), .. })
+            Err(BuildError::DanglingPin {
+                pin: Pin::Output(0),
+                ..
+            })
         ));
         let _ = g;
     }

@@ -26,10 +26,7 @@ pub fn topo_order(nl: &Netlist) -> Result<Vec<GateId>, NetlistError> {
             }
         }
     }
-    let mut queue: Vec<GateId> = nl
-        .gate_ids()
-        .filter(|g| indegree[g.index()] == 0)
-        .collect();
+    let mut queue: Vec<GateId> = nl.gate_ids().filter(|g| indegree[g.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(g) = queue.pop() {
         order.push(g);

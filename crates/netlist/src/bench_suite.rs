@@ -65,15 +65,87 @@ impl BenchSpec {
 
 /// The nine benchmarks of the paper's Tables II–VII and Fig. 3.
 pub const SPECS: [BenchSpec; 9] = [
-    BenchSpec { name: "c3540", gates: 1669, pi: 50, po: 22, dff: 0, clustering: 0.55, seed: 3540 },
-    BenchSpec { name: "c5315", gates: 2307, pi: 178, po: 123, dff: 0, clustering: 0.55, seed: 5315 },
-    BenchSpec { name: "c6288", gates: 2416, pi: 32, po: 32, dff: 0, clustering: 0.80, seed: 6288 },
-    BenchSpec { name: "c7552", gates: 3512, pi: 207, po: 108, dff: 0, clustering: 0.55, seed: 7552 },
-    BenchSpec { name: "s5378", gates: 2779, pi: 35, po: 49, dff: 179, clustering: 0.85, seed: 5378 },
-    BenchSpec { name: "s9234", gates: 5597, pi: 36, po: 39, dff: 211, clustering: 0.85, seed: 9234 },
-    BenchSpec { name: "s13207", gates: 7951, pi: 62, po: 152, dff: 638, clustering: 0.85, seed: 13207 },
-    BenchSpec { name: "s15850", gates: 9772, pi: 77, po: 150, dff: 534, clustering: 0.85, seed: 15850 },
-    BenchSpec { name: "s38584", gates: 19253, pi: 38, po: 304, dff: 1426, clustering: 0.85, seed: 38584 },
+    BenchSpec {
+        name: "c3540",
+        gates: 1669,
+        pi: 50,
+        po: 22,
+        dff: 0,
+        clustering: 0.55,
+        seed: 3540,
+    },
+    BenchSpec {
+        name: "c5315",
+        gates: 2307,
+        pi: 178,
+        po: 123,
+        dff: 0,
+        clustering: 0.55,
+        seed: 5315,
+    },
+    BenchSpec {
+        name: "c6288",
+        gates: 2416,
+        pi: 32,
+        po: 32,
+        dff: 0,
+        clustering: 0.80,
+        seed: 6288,
+    },
+    BenchSpec {
+        name: "c7552",
+        gates: 3512,
+        pi: 207,
+        po: 108,
+        dff: 0,
+        clustering: 0.55,
+        seed: 7552,
+    },
+    BenchSpec {
+        name: "s5378",
+        gates: 2779,
+        pi: 35,
+        po: 49,
+        dff: 179,
+        clustering: 0.85,
+        seed: 5378,
+    },
+    BenchSpec {
+        name: "s9234",
+        gates: 5597,
+        pi: 36,
+        po: 39,
+        dff: 211,
+        clustering: 0.85,
+        seed: 9234,
+    },
+    BenchSpec {
+        name: "s13207",
+        gates: 7951,
+        pi: 62,
+        po: 152,
+        dff: 638,
+        clustering: 0.85,
+        seed: 13207,
+    },
+    BenchSpec {
+        name: "s15850",
+        gates: 9772,
+        pi: 77,
+        po: 150,
+        dff: 534,
+        clustering: 0.85,
+        seed: 15850,
+    },
+    BenchSpec {
+        name: "s38584",
+        gates: 19253,
+        pi: 38,
+        po: 304,
+        dff: 1426,
+        clustering: 0.85,
+        seed: 38584,
+    },
 ];
 
 /// Looks a benchmark spec up by name.

@@ -112,7 +112,7 @@ pub fn parse_blif(src: &str) -> Result<Netlist, ParseBlifError> {
     }
 
     let flush_names = |nl: &mut Netlist,
-                           pend: &mut Option<(usize, Vec<String>, Vec<String>)>|
+                       pend: &mut Option<(usize, Vec<String>, Vec<String>)>|
      -> Result<(), ParseBlifError> {
         if let Some((line, tokens, cover)) = pend.take() {
             let (ins, out) = tokens.split_at(tokens.len() - 1);
@@ -185,10 +185,10 @@ pub fn parse_blif(src: &str) -> Result<Netlist, ParseBlifError> {
                         what: ".latch needs input and output".into(),
                     });
                 };
-                let d_sig =
-                    intern(&mut nl, d).map_err(|source| ParseBlifError::Netlist { line, source })?;
-                let q_sig =
-                    intern(&mut nl, q).map_err(|source| ParseBlifError::Netlist { line, source })?;
+                let d_sig = intern(&mut nl, d)
+                    .map_err(|source| ParseBlifError::Netlist { line, source })?;
+                let q_sig = intern(&mut nl, q)
+                    .map_err(|source| ParseBlifError::Netlist { line, source })?;
                 nl.add_gate(format!("latch_{q}"), GateKind::Dff, vec![d_sig], q_sig)
                     .map_err(|source| ParseBlifError::Netlist { line, source })?;
             }

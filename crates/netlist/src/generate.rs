@@ -291,8 +291,16 @@ mod tests {
             }
             sum / count.max(1.0)
         }
-        let local = generate(&GeneratorConfig::new(1500).with_seed(5).with_clustering(0.95));
-        let global = generate(&GeneratorConfig::new(1500).with_seed(5).with_clustering(0.05));
+        let local = generate(
+            &GeneratorConfig::new(1500)
+                .with_seed(5)
+                .with_clustering(0.95),
+        );
+        let global = generate(
+            &GeneratorConfig::new(1500)
+                .with_seed(5)
+                .with_clustering(0.05),
+        );
         assert!(mean_distance(&local) * 3.0 < mean_distance(&global));
     }
 

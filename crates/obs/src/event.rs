@@ -1,0 +1,296 @@
+//! The event model: levelled, typed, allocation-light telemetry records.
+//!
+//! An [`Event`] is one observation: a point event, a counter increment,
+//! a gauge sample or a histogram, identified by `scope.name` and carrying
+//! two field lists:
+//!
+//! * `fields` — the *deterministic* payload: for a fixed seed these
+//!   values are identical on every run at every thread count;
+//! * `timing` — wall-clock, duration and scheduling-dependent data
+//!   (worker ids, claim order, milliseconds). Sinks keep it segregated
+//!   (the JSONL sink renders it as a trailing `"timing"` sub-object) so
+//!   traces can be compared across `--jobs` levels after stripping it.
+//!
+//! Events whose very *presence or order* depends on thread scheduling
+//! (worker claims, live incumbent races, drain notifications) must use
+//! the reserved scope [`TIMING_SCOPE`]; determinism checks drop those
+//! lines entirely.
+
+use std::fmt;
+
+/// The reserved scope for events that exist only on the scheduling
+/// timeline. Lines with this scope are dropped (not just trimmed) when
+/// comparing traces across `--jobs` levels.
+pub const TIMING_SCOPE: &str = "timing";
+
+/// Event verbosity, ordered from most to least important.
+///
+/// A [`Recorder`](crate::Recorder) configured at level `L` records
+/// every event with `level <= L`; [`Level::Info`] is the headline
+/// stream, [`Level::Debug`] adds per-pass/per-stage detail and
+/// [`Level::Trace`] adds per-attempt minutiae.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Level {
+    /// Headline events: run summaries, incumbent improvements,
+    /// escalations, paper-metric gauges.
+    #[default]
+    Info,
+    /// Per-pass / per-stage diagnostics.
+    Debug,
+    /// Per-attempt minutiae (dead-ended carves, unbalanced splits).
+    Trace,
+}
+
+impl Level {
+    /// The lowercase name used in serialized traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point. Non-finite values serialize as `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// A list of unsigned integers (histogram bins, area pairs).
+    UList(Vec<u64>),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<u64>> for Value {
+    fn from(v: Vec<u64>) -> Self {
+        Value::UList(v)
+    }
+}
+
+/// What kind of observation an [`Event`] is.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Kind {
+    /// A point event (the default).
+    #[default]
+    Point,
+    /// A monotonic counter increment; aggregated by summation.
+    Counter(u64),
+    /// A gauge sample; aggregated by last-write-wins.
+    Gauge(f64),
+    /// A histogram (bin counts, implicit `0..n` bin labels); aggregated
+    /// by element-wise summation.
+    Hist(Vec<u64>),
+}
+
+/// One telemetry record. Build with [`Event::new`] (or the
+/// [`Event::counter`] / [`Event::gauge`] / [`Event::hist`] metric
+/// constructors) and the [`Event::field`] / [`Event::timing`] builders,
+/// then hand it to a [`Recorder`](crate::Recorder).
+///
+/// Field keys are `&'static str` by design: instrumentation sites name
+/// their fields statically, which keeps event construction free of key
+/// allocations and the serialized key order deterministic (insertion
+/// order).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Event {
+    /// Subsystem that emitted the event (`"fm"`, `"kway"`,
+    /// `"portfolio"`, `"engine"`, `"paper"`, or [`TIMING_SCOPE`]).
+    pub scope: &'static str,
+    /// Event name within the scope (dotted lowercase, e.g.
+    /// `"carve.no_fit"`).
+    pub name: &'static str,
+    /// Verbosity level.
+    pub level: Level,
+    /// Observation kind (point / counter / gauge / histogram).
+    pub kind: Kind,
+    /// Deterministic payload, in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+    /// Scheduling/wall-clock payload, in insertion order. Serialized
+    /// last, as a clearly marked sub-object, so determinism checks can
+    /// strip it.
+    pub timing: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A point event.
+    pub fn new(scope: &'static str, name: &'static str, level: Level) -> Self {
+        Event {
+            scope,
+            name,
+            level,
+            ..Event::default()
+        }
+    }
+
+    /// A counter increment of `delta` (level [`Level::Info`]).
+    pub fn counter(scope: &'static str, name: &'static str, delta: u64) -> Self {
+        Event {
+            scope,
+            name,
+            kind: Kind::Counter(delta),
+            ..Event::default()
+        }
+    }
+
+    /// A gauge sample (level [`Level::Info`]).
+    pub fn gauge(scope: &'static str, name: &'static str, value: f64) -> Self {
+        Event {
+            scope,
+            name,
+            kind: Kind::Gauge(value),
+            ..Event::default()
+        }
+    }
+
+    /// A histogram observation (level [`Level::Info`]).
+    pub fn hist(scope: &'static str, name: &'static str, bins: Vec<u64>) -> Self {
+        Event {
+            scope,
+            name,
+            kind: Kind::Hist(bins),
+            ..Event::default()
+        }
+    }
+
+    /// Overrides the level (metric constructors default to
+    /// [`Level::Info`]).
+    #[must_use]
+    pub fn at(mut self, level: Level) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Appends a deterministic field.
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Appends a scheduling/wall-clock field.
+    #[must_use]
+    pub fn timing(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.timing.push((key, value.into()));
+        self
+    }
+
+    /// Whether this event lives entirely on the scheduling timeline
+    /// (reserved scope [`TIMING_SCOPE`]): determinism checks drop it.
+    pub fn is_timing_scoped(&self) -> bool {
+        self.scope == TIMING_SCOPE
+    }
+
+    /// Strips every scheduling-dependent part, leaving the
+    /// deterministic skeleton (used by determinism tests; returns
+    /// `None` for timing-scoped events, which have no skeleton).
+    pub fn deterministic_skeleton(&self) -> Option<Event> {
+        if self.is_timing_scoped() {
+            return None;
+        }
+        let mut e = self.clone();
+        e.timing.clear();
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::Debug.to_string(), "debug");
+    }
+
+    #[test]
+    fn builder_preserves_insertion_order() {
+        let e = Event::new("fm", "pass", Level::Debug)
+            .field("b", 1u64)
+            .field("a", 2u64)
+            .timing("wall_ms", 3u64);
+        assert_eq!(e.fields[0].0, "b");
+        assert_eq!(e.fields[1].0, "a");
+        assert_eq!(e.timing.len(), 1);
+    }
+
+    #[test]
+    fn skeleton_drops_timing_and_timing_scope() {
+        let e = Event::new("fm", "pass", Level::Info).timing("wall_ms", 9u64);
+        let s = e.deterministic_skeleton().expect("fm is deterministic");
+        assert!(s.timing.is_empty());
+        assert_eq!(s.fields, e.fields);
+        let t = Event::new(TIMING_SCOPE, "claim", Level::Debug);
+        assert!(t.is_timing_scoped());
+        assert!(t.deterministic_skeleton().is_none());
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(vec![1u64, 2]), Value::UList(vec![1, 2]));
+    }
+}

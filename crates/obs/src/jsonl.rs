@@ -1,0 +1,355 @@
+//! The JSONL trace sink and its determinism contract.
+//!
+//! Every event becomes exactly one JSON object on its own line:
+//!
+//! ```json
+//! {"scope":"fm","event":"pass","level":"debug","fields":{"pass":1,"cut":42}}
+//! {"scope":"portfolio","event":"start","level":"info","fields":{"index":0,"cut":40},"timing":{"worker":2,"wall_ms":7}}
+//! {"scope":"timing","event":"worker.claim","level":"debug","fields":{"worker":1,"start":3}}
+//! ```
+//!
+//! Key order is fixed (`scope`, `event`, `level`, then kind-specific
+//! keys, then `fields`, then `timing` **last**), and field order inside
+//! the sub-objects is the deterministic insertion order of the emitting
+//! site. The determinism contract: after [`strip_timing`] — drop lines
+//! whose scope is [`TIMING_SCOPE`](crate::TIMING_SCOPE), remove the
+//! trailing `"timing"` sub-object from the rest — a fixed-seed trace is
+//! byte-identical at every `--jobs` level (`scripts/strip_timing.sh` is
+//! the shell mirror used by CI).
+
+use crate::event::{Event, Kind, Level, Value};
+use crate::recorder::Recorder;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Appends a JSON string literal (quoted, escaped) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON rendering of `v` to `out`. Non-finite floats become
+/// `null` (JSON has no NaN/Inf); finite floats use Rust's
+/// shortest-roundtrip `Display`, which is deterministic for a given
+/// value.
+fn push_json_value(out: &mut String, v: &Value) {
+    use std::fmt::Write as _;
+    match v {
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(x) => push_json_str(out, x),
+        Value::UList(xs) => {
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{x}");
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn push_pairs(out: &mut String, pairs: &[(&'static str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        out.push(':');
+        push_json_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Renders one event as its JSONL line (no trailing newline).
+pub fn to_json_line(event: &Event) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"scope\":");
+    push_json_str(&mut out, event.scope);
+    out.push_str(",\"event\":");
+    push_json_str(&mut out, event.name);
+    out.push_str(",\"level\":");
+    push_json_str(&mut out, event.level.as_str());
+    match &event.kind {
+        Kind::Point => {}
+        Kind::Counter(n) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, ",\"kind\":\"counter\",\"value\":{n}");
+        }
+        Kind::Gauge(v) => {
+            out.push_str(",\"kind\":\"gauge\",\"value\":");
+            push_json_value(&mut out, &Value::F64(*v));
+        }
+        Kind::Hist(bins) => {
+            out.push_str(",\"kind\":\"hist\",\"bins\":");
+            push_json_value(&mut out, &Value::UList(bins.clone()));
+        }
+    }
+    if !event.fields.is_empty() {
+        out.push_str(",\"fields\":");
+        push_pairs(&mut out, &event.fields);
+    }
+    // The timing sub-object is always last so determinism tooling can
+    // strip it with a tail match.
+    if !event.timing.is_empty() {
+        out.push_str(",\"timing\":");
+        push_pairs(&mut out, &event.timing);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a slice of events as a JSONL document (one line each).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&to_json_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Applies the determinism strip to a JSONL trace document: drops
+/// timing-scoped lines and removes the trailing `"timing"` sub-object
+/// from the rest. Two fixed-seed traces taken at different `--jobs`
+/// levels must be byte-identical after this (the contract CI enforces
+/// via `scripts/strip_timing.sh`, which performs the same rewrite).
+pub fn strip_timing(trace: &str) -> String {
+    let mut out = String::with_capacity(trace.len());
+    for line in trace.lines() {
+        if line.contains("\"scope\":\"timing\"") {
+            continue;
+        }
+        match line.rfind(",\"timing\":{") {
+            Some(i) if line.ends_with("}}") => {
+                out.push_str(&line[..i]);
+                out.push('}');
+            }
+            _ => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A [`Recorder`] writing JSONL to any `Write` sink (typically a
+/// buffered trace file opened by [`JsonlRecorder::create`]). Records
+/// every level by default.
+pub struct JsonlRecorder {
+    max: Level,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder")
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlRecorder {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlRecorder {
+            max: Level::Trace,
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Creates (truncating) a trace file at `path`, buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`std::io::Error`] if the file cannot
+    /// be created.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// Caps the recorded level (default: everything).
+    #[must_use]
+    pub fn with_max_level(mut self, max: Level) -> Self {
+        self.max = max;
+        self
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`std::io::Error`].
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush()
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn enabled(&self, level: Level) -> bool {
+        level <= self.max
+    }
+
+    fn record(&self, event: &Event) {
+        if !self.enabled(event.level) {
+            return;
+        }
+        let mut line = to_json_line(event);
+        line.push('\n');
+        // Telemetry never propagates I/O errors into the run.
+        let _ = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape_and_key_order() {
+        let e = Event::new("fm", "pass", Level::Debug)
+            .field("pass", 1u64)
+            .field("cut", 42u64)
+            .timing("wall_ms", 7u64);
+        assert_eq!(
+            to_json_line(&e),
+            r#"{"scope":"fm","event":"pass","level":"debug","fields":{"pass":1,"cut":42},"timing":{"wall_ms":7}}"#
+        );
+    }
+
+    #[test]
+    fn metric_kinds_serialize() {
+        assert_eq!(
+            to_json_line(&Event::counter("portfolio", "starts", 5)),
+            r#"{"scope":"portfolio","event":"starts","level":"info","kind":"counter","value":5}"#
+        );
+        assert_eq!(
+            to_json_line(&Event::gauge("paper", "kbar", 0.25)),
+            r#"{"scope":"paper","event":"kbar","level":"info","kind":"gauge","value":0.25}"#
+        );
+        assert_eq!(
+            to_json_line(&Event::hist("paper", "devices", vec![1, 0, 2])),
+            r#"{"scope":"paper","event":"devices","level":"info","kind":"hist","bins":[1,0,2]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::new("x", "y", Level::Info).field("s", "a\"b\\c\nd\u{1}");
+        let line = to_json_line(&e);
+        assert!(line.contains(r#""s":"a\"b\\c\nd\u0001""#), "line: {line}");
+        assert_eq!(
+            to_json_line(&Event::new("x", "nan", Level::Info).field("v", f64::NAN)),
+            r#"{"scope":"x","event":"nan","level":"info","fields":{"v":null}}"#
+        );
+    }
+
+    #[test]
+    fn strip_removes_timing_and_timing_scope() {
+        let events = vec![
+            Event::new("fm", "pass", Level::Debug).field("cut", 3u64),
+            Event::new("timing", "worker.claim", Level::Debug).field("worker", 1u64),
+            Event::new("portfolio", "start", Level::Info)
+                .field("index", 0u64)
+                .timing("worker", 1u64)
+                .timing("wall_ms", 9u64),
+        ];
+        let stripped = strip_timing(&to_jsonl(&events));
+        assert_eq!(
+            stripped,
+            "{\"scope\":\"fm\",\"event\":\"pass\",\"level\":\"debug\",\"fields\":{\"cut\":3}}\n\
+             {\"scope\":\"portfolio\",\"event\":\"start\",\"level\":\"info\",\"fields\":{\"index\":0}}\n"
+        );
+    }
+
+    #[test]
+    fn strip_agrees_with_skeleton() {
+        // The string-level strip and the event-level skeleton are the
+        // same contract expressed twice; keep them in lockstep.
+        let events = vec![
+            Event::new("kway", "done", Level::Info)
+                .field("cost", 750u64)
+                .timing("wall_ms", 3u64),
+            Event::new("timing", "drain", Level::Debug),
+        ];
+        let via_strings = strip_timing(&to_jsonl(&events));
+        let via_skeleton: Vec<Event> = events
+            .iter()
+            .filter_map(Event::deterministic_skeleton)
+            .collect();
+        assert_eq!(via_strings, to_jsonl(&via_skeleton));
+    }
+
+    #[test]
+    fn recorder_writes_lines_and_respects_max_level() {
+        let buf: std::sync::Arc<Mutex<Vec<u8>>> = std::sync::Arc::default();
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let r = JsonlRecorder::new(Box::new(Shared(buf.clone()))).with_max_level(Level::Debug);
+        assert!(r.enabled(Level::Debug));
+        assert!(!r.enabled(Level::Trace));
+        r.record(&Event::new("a", "kept", Level::Info));
+        r.record(&Event::new("a", "dropped", Level::Trace));
+        r.flush().expect("in-memory flush");
+        let text = String::from_utf8(
+            buf.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
+        )
+        .expect("utf8");
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"kept\""));
+    }
+}

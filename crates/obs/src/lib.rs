@@ -1,0 +1,38 @@
+//! # netpart-obs — std-only structured observability
+//!
+//! A zero-registry-dependency telemetry layer for the netlist
+//! partitioner: levelled [`Event`]s (points, counters, gauges,
+//! histograms) flow through the [`Recorder`] trait into composable
+//! sinks — [`JsonlRecorder`] (deterministic `--trace-out` run traces),
+//! [`StderrRecorder`] (`-v`/`-vv` human-readable lines),
+//! [`MetricsRecorder`] (end-of-run `--metrics-out` snapshots),
+//! [`BufferRecorder`] (in-memory capture for deterministic replay of
+//! parallel work), and [`Tee`] (fan-out). [`NOOP`] makes the disabled
+//! path near-free: one virtual bool probe per instrumentation site.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed seed, the trace stream is byte-identical at every
+//! `--jobs` level once scheduling data is stripped:
+//!
+//! 1. wall-clock/duration/worker fields live in an event's `timing`
+//!    list, serialized last on each JSONL line as a `"timing"`
+//!    sub-object ([`jsonl::strip_timing`] removes it);
+//! 2. events whose *presence or order* is scheduling-dependent use the
+//!    reserved scope [`TIMING_SCOPE`] and are dropped whole-line;
+//! 3. parallel emitters buffer per-unit events in a [`BufferRecorder`]
+//!    and replay them into the real sink in a fixed order after
+//!    joining.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod recorder;
+
+pub use event::{Event, Kind, Level, Value, TIMING_SCOPE};
+pub use jsonl::{strip_timing, to_json_line, to_jsonl, JsonlRecorder};
+pub use metrics::{MetricsRecorder, MetricsSnapshot};
+pub use recorder::{BufferRecorder, NoopRecorder, Recorder, Span, StderrRecorder, Tee, NOOP};

@@ -117,14 +117,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self
-                .headers
-                .iter()
-                .map(esc)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
@@ -168,7 +161,14 @@ pub struct WorkerRow {
 pub fn worker_table(title: impl Into<String>, rows: &[WorkerRow]) -> Table {
     let mut t = Table::new(
         title,
-        &["Worker", "Starts", "Passes", "Moves", "Wall (ms)", "Cutoffs"],
+        &[
+            "Worker",
+            "Starts",
+            "Passes",
+            "Moves",
+            "Wall (ms)",
+            "Cutoffs",
+        ],
     );
     for r in rows {
         t.row([
@@ -189,6 +189,33 @@ pub fn worker_table(title: impl Into<String>, rows: &[WorkerRow]) -> Table {
             rows.iter().map(|r| r.wall_ms).sum::<u64>().to_string(),
             rows.iter().map(|r| r.cutoff_hits).sum::<u64>().to_string(),
         ]);
+    }
+    t
+}
+
+/// Renders a [`MetricsSnapshot`](netpart_obs::MetricsSnapshot) as a
+/// [`Table`] — one `Metric | Kind | Value` row per entry, in the
+/// snapshot's deterministic (sorted) order. Counters and gauges print
+/// their value; histograms print `total (n bins)`; timing entries are
+/// listed last, mirroring the JSON layout.
+pub fn metrics_table(title: impl Into<String>, snap: &netpart_obs::MetricsSnapshot) -> Table {
+    let mut t = Table::new(title, &["Metric", "Kind", "Value"]);
+    for (k, v) in &snap.counters {
+        t.row([k.clone(), "counter".into(), v.to_string()]);
+    }
+    for (k, v) in &snap.gauges {
+        t.row([k.clone(), "gauge".into(), format!("{v}")]);
+    }
+    for (k, bins) in &snap.hists {
+        let total: u64 = bins.iter().sum();
+        t.row([
+            k.clone(),
+            "hist".into(),
+            format!("{total} ({} bins)", bins.len()),
+        ]);
+    }
+    for (k, ms) in &snap.timing {
+        t.row([k.clone(), "timing".into(), format!("{ms} ms")]);
     }
     t
 }
@@ -273,6 +300,95 @@ mod tests {
         assert!(csv.contains("total,5,20,700,12,1"), "csv was:\n{csv}");
         // A single worker gets no totals row.
         assert_eq!(worker_table("W", &rows[..1]).n_rows(), 1);
+    }
+
+    #[test]
+    fn worker_table_empty_and_single_row() {
+        // Empty: headers only, no totals row.
+        let t = worker_table("Workers", &[]);
+        assert_eq!(t.n_rows(), 0);
+        let s = t.to_ascii();
+        assert_eq!(s.lines().count(), 3, "title + header + separator:\n{s}");
+        // Single row: no totals row, values rendered verbatim.
+        let one = vec![WorkerRow {
+            worker: 0,
+            starts: 1,
+            passes: 2,
+            moves: 3,
+            wall_ms: 4,
+            cutoff_hits: 5,
+        }];
+        let t = worker_table("Workers", &one);
+        assert_eq!(t.n_rows(), 1);
+        assert!(t.to_csv().contains("0,1,2,3,4,5"));
+    }
+
+    #[test]
+    fn worker_table_wide_numeric_columns_align() {
+        let rows = vec![
+            WorkerRow {
+                worker: 0,
+                starts: 1,
+                passes: 9,
+                moves: 7,
+                wall_ms: 3,
+                cutoff_hits: 0,
+            },
+            WorkerRow {
+                worker: 1,
+                starts: 123_456,
+                passes: 98_765_432,
+                moves: 1_000_000_007,
+                wall_ms: 86_400_000,
+                cutoff_hits: 42,
+            },
+        ];
+        let s = worker_table("Workers", &rows).to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, both data lines, and the totals line all share one width.
+        for l in &lines[3..] {
+            assert_eq!(l.len(), lines[1].len(), "misaligned line {l:?} in:\n{s}");
+        }
+        // Right-aligned numbers: the wide value ends where the narrow does.
+        assert!(lines[3].contains(" 9 ") && lines[4].contains("98765432"));
+    }
+
+    #[test]
+    fn metrics_table_empty() {
+        let snap = netpart_obs::MetricsSnapshot::new();
+        let t = metrics_table("run metrics", &snap);
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.to_csv(), "Metric,Kind,Value\n");
+    }
+
+    #[test]
+    fn metrics_table_rows_ordered_and_rendered() {
+        let mut snap = netpart_obs::MetricsSnapshot::new();
+        snap.add_counter("fm.passes", 12);
+        snap.add_counter("engine.cache_hits", 1);
+        snap.set_gauge("paper.cost_k", 750.0);
+        snap.merge_hist("paper.devices", &[3, 0, 2]);
+        snap.set_timing("wall_ms", 45);
+        let t = metrics_table("run metrics", &snap);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Counters (sorted) first, then gauges, hists, timing last.
+        assert_eq!(lines[1], "engine.cache_hits,counter,1");
+        assert_eq!(lines[2], "fm.passes,counter,12");
+        assert_eq!(lines[3], "paper.cost_k,gauge,750");
+        assert_eq!(lines[4], "paper.devices,hist,5 (3 bins)");
+        assert_eq!(lines[5], "wall_ms,timing,45 ms");
+    }
+
+    #[test]
+    fn metrics_table_wide_numeric_columns_align() {
+        let mut snap = netpart_obs::MetricsSnapshot::new();
+        snap.add_counter("a.tiny", 1);
+        snap.add_counter("b.huge", u64::MAX);
+        let s = metrics_table("run metrics", &snap).to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len(), "misaligned:\n{s}");
+        assert!(lines[4].ends_with(&format!("{} ", u64::MAX)));
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Small statistics helpers for experiment aggregation.
 
-
 /// Mean of a slice (NaN when empty).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

@@ -38,8 +38,7 @@ pub fn decompose_wide_gates(nl: &Netlist, k: usize) -> Netlist {
     assert!(k >= 2, "gates cannot be narrower than 2 inputs");
     let mut out = Netlist::new(nl.name());
     // Recreate signals in order so ids line up one-to-one.
-    let pi_set: std::collections::HashSet<SignalId> =
-        nl.primary_inputs().iter().copied().collect();
+    let pi_set: std::collections::HashSet<SignalId> = nl.primary_inputs().iter().copied().collect();
     for s in nl.signal_ids() {
         let name = nl.signal_name(s);
         if pi_set.contains(&s) {
@@ -77,13 +76,8 @@ pub fn decompose_wide_gates(nl: &Netlist, k: usize) -> Netlist {
                     .add_signal(format!("_dec{fresh}"))
                     .expect("fresh internal name");
                 fresh += 1;
-                out.add_gate(
-                    format!("_dec_g{fresh}"),
-                    reduce.clone(),
-                    chunk.to_vec(),
-                    t,
-                )
-                .expect("tree stage is valid");
+                out.add_gate(format!("_dec_g{fresh}"), reduce.clone(), chunk.to_vec(), t)
+                    .expect("tree stage is valid");
                 next.push(t);
             }
             level = next;

@@ -3,9 +3,7 @@
 use crate::cover::{consumer_counts, cover, LutCone};
 use crate::error::MapError;
 use crate::pack::pack_units;
-use netpart_hypergraph::{
-    AdjacencyMatrix, BitVec, CellKind, Hypergraph, HypergraphBuilder, NetId,
-};
+use netpart_hypergraph::{AdjacencyMatrix, BitVec, CellKind, Hypergraph, HypergraphBuilder, NetId};
 use netpart_netlist::{Driver, GateId, Netlist, SignalId};
 use std::collections::HashMap;
 
@@ -266,7 +264,8 @@ impl Mapped {
             b.connect_input(n, *pad, 0).expect("pad input fresh");
         }
 
-        b.finish().expect("mapped design is structurally consistent")
+        b.finish()
+            .expect("mapped design is structurally consistent")
     }
 }
 
@@ -288,8 +287,7 @@ pub fn map(nl: &Netlist, cfg: &MapperConfig) -> Result<Mapped, MapError> {
     }
 
     let consumers = consumer_counts(nl);
-    let is_po: std::collections::HashSet<SignalId> =
-        nl.primary_outputs().iter().copied().collect();
+    let is_po: std::collections::HashSet<SignalId> = nl.primary_outputs().iter().copied().collect();
 
     let mut registered_by: Vec<Option<GateId>> = vec![None; cones.len()];
     let mut ext_regs: Vec<GateId> = Vec::new();

@@ -23,10 +23,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// register.
 pub(crate) fn pack_units(mapped: &Mapped, nl: &Netlist, units: Vec<Unit>) -> Vec<Clb> {
     let cfg = *mapped.config();
-    let supports: Vec<Vec<SignalId>> = units
-        .iter()
-        .map(|u| mapped.unit_support(nl, u))
-        .collect();
+    let supports: Vec<Vec<SignalId>> = units.iter().map(|u| mapped.unit_support(nl, u)).collect();
     let dffs: Vec<usize> = units.iter().map(|u| mapped.unit_dffs(u)).collect();
     let ext: Vec<bool> = units
         .iter()

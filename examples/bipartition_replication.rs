@@ -39,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let func = run_many(
         &hg,
-        &base.clone().with_replication(ReplicationMode::functional(0)),
+        &base
+            .clone()
+            .with_replication(ReplicationMode::functional(0)),
         runs,
     )?;
     println!(
@@ -72,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in [0u32, 1, 2, 3, 5] {
         let r = run_many(
             &hg,
-            &base.clone().with_replication(ReplicationMode::functional(t)),
+            &base
+                .clone()
+                .with_replication(ReplicationMode::functional(t)),
             runs,
         )?;
         println!(

@@ -15,7 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = DeviceLibrary::xc3000();
     let mut t = Table::new(
         "XC3000 library (paper Table I)",
-        &["Device", "CLBs", "IOBs", "Price", "Feasible window", "Fits?"],
+        &[
+            "Device",
+            "CLBs",
+            "IOBs",
+            "Price",
+            "Feasible window",
+            "Fits?",
+        ],
     );
     for d in &lib {
         t.row([

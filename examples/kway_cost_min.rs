@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = DeviceLibrary::xc3000();
     for (label, mode) in [
         ("without replication ([3] baseline)", ReplicationMode::None),
-        ("functional replication, T = 1", ReplicationMode::functional(1)),
+        (
+            "functional replication, T = 1",
+            ReplicationMode::functional(1),
+        ),
     ] {
         let cfg = KWayConfig::new(library.clone())
             .with_candidates(candidates)

@@ -9,6 +9,11 @@
 //!
 //! This is the source of the README's speedup numbers; re-run it on
 //! your own hardware (the numbers scale with physical cores).
+//!
+//! Besides the table, the run is archived as `BENCH_portfolio.json` in
+//! the current directory — a metrics snapshot (seed, jobs, wall-ms per
+//! jobs level, best cut, and the paper metrics `$_k`/`k̄` from a small
+//! k-way portfolio on the same circuit).
 
 use netpart::prelude::*;
 use netpart::report::{f2, Table};
@@ -19,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gates: usize = args.next().map_or(Ok(2000), |a| a.parse())?;
     let starts: usize = args.next().map_or(Ok(20), |a| a.parse())?;
 
-    let nl = generate(&GeneratorConfig::new(gates).with_dff(gates / 10).with_seed(42));
+    let nl = generate(
+        &GeneratorConfig::new(gates)
+            .with_dff(gates / 10)
+            .with_seed(42),
+    );
     let hg = map(&nl, &MapperConfig::xc3000())?.to_hypergraph(&nl);
     let cfg = BipartitionConfig::equal(&hg, 0.1)
         .with_seed(1)
@@ -34,6 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Portfolio speedup (identical best solution per row)",
         &["jobs", "best cut", "wall (ms)", "speedup"],
     );
+    let mut snap = MetricsSnapshot::new();
+    snap.set_meta("bench", "portfolio_speedup");
+    snap.set_meta("gates", gates.to_string());
+    snap.set_meta("starts", starts.to_string());
+    snap.set_meta("seed", "1");
     let mut base_ms = None;
     let mut prints = Vec::new();
     for jobs in [1usize, 2, 4] {
@@ -42,6 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let base = *base_ms.get_or_insert(ms);
         prints.push(r.fingerprint(&hg));
+        snap.set_timing(&format!("wall_ms_jobs{jobs}"), ms as u64);
+        snap.set_gauge("best_cut", r.best_cut() as f64);
         t.row([
             jobs.to_string(),
             r.best_cut().to_string(),
@@ -55,5 +71,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{t}");
     println!("(fingerprint {:#018x} at every jobs level)", prints[0]);
+
+    // Paper metrics for the archive: route a small k-way portfolio
+    // through a MetricsRecorder so the $_k / k̄ gauges and the device
+    // histogram land in the same snapshot.
+    use netpart::engine::portfolio_kway_traced;
+    use netpart::obs::Recorder;
+    use std::sync::Arc;
+    let metrics = Arc::new(MetricsRecorder::new());
+    let kcfg = KWayConfig::new(DeviceLibrary::xc3000())
+        .with_candidates(4)
+        .with_seed(1)
+        .with_replication(ReplicationMode::functional(0));
+    let t0 = Instant::now();
+    let recorder: Arc<dyn Recorder> = Arc::clone(&metrics) as Arc<dyn Recorder>;
+    let k = portfolio_kway_traced(&hg, &kcfg, 3, 4, &recorder)?;
+    let kway_snap = metrics.snapshot();
+    for (key, v) in &kway_snap.gauges {
+        snap.set_gauge(key, *v);
+    }
+    for (key, bins) in &kway_snap.hists {
+        snap.merge_hist(key, bins);
+    }
+    snap.set_timing("wall_ms_kway", t0.elapsed().as_millis() as u64);
+    println!(
+        "k-way on the same circuit: $_k = {}, k̄ = {:.2}, k = {}",
+        k.result.evaluation.total_cost,
+        k.result.evaluation.avg_iob_util,
+        k.result.evaluation.k()
+    );
+
+    std::fs::write("BENCH_portfolio.json", snap.to_json())?;
+    println!("archived to BENCH_portfolio.json");
     Ok(())
 }

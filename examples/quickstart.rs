@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain = bipartition(&hg, &base);
     let repl = bipartition(
         &hg,
-        &base.clone().with_replication(ReplicationMode::functional(0)),
+        &base
+            .clone()
+            .with_replication(ReplicationMode::functional(0)),
     );
     println!("plain FM min-cut: {} nets", plain.cut);
     println!(

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Strip the scheduling-dependent parts of a netpart JSONL run trace,
+# leaving the deterministic skeleton: for a fixed seed the output is
+# byte-identical at every --jobs level.
+#
+#   usage: scripts/strip_timing.sh trace.jsonl > trace.stripped.jsonl
+#
+# Two rules, mirroring netpart_obs::strip_timing:
+#   1. drop whole lines in the reserved "timing" scope (worker claims,
+#      per-worker summaries — pure scheduling timeline);
+#   2. on every other line, remove the trailing "timing" sub-object
+#      (wall-clock measurements ride last on the line by construction).
+set -eu
+awk '!/"scope":"timing"/ { sub(/,"timing":\{.*\}\}$/, "}"); print }' "${1:?usage: strip_timing.sh trace.jsonl}"

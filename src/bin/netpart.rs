@@ -21,6 +21,22 @@
 //! engine's in-memory result cache (useful for repeated requests inside
 //! one process; stats are printed to stderr).
 //!
+//! # Observability
+//!
+//! * `--trace-out <path>` — write a structured JSONL run trace
+//!   (`netpart::obs` events at Trace level). Fixed-seed traces are
+//!   byte-identical across `--jobs` levels once scheduling timing is
+//!   stripped (drop `"scope":"timing"` lines and trailing `"timing"`
+//!   objects; see `scripts/strip_timing.sh`).
+//! * `--metrics-out <path>` — write an end-of-run metrics snapshot
+//!   (counters, paper-metric gauges `$_k`/`k̄`, histograms) as pretty
+//!   JSON, suitable as a `BENCH_*.json` artifact.
+//! * `-v` / `-vv` — human-readable events on stderr (Info / Trace).
+//!
+//! Any of these flags routes `bipartition`/`kway` through the portfolio
+//! engine even at `--jobs 1`, so the emission pipeline — and therefore
+//! stdout and the stripped trace — is identical at every jobs level.
+//!
 //! Generated circuits can be exported for experimentation with
 //! `netpart synth <gates> [out.blif]`.
 //!
@@ -41,14 +57,17 @@
 
 use netpart::core::{refine_kway, unreplicate_cleanup};
 use netpart::engine::WorkerStats;
+use netpart::obs::StderrRecorder;
 use netpart::prelude::*;
-use netpart::report::{worker_table, WorkerRow};
+use netpart::report::{metrics_table, worker_table, WorkerRow};
 use std::error::Error;
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
     );
     std::process::exit(2)
 }
@@ -68,6 +87,9 @@ struct Flags {
     jobs: usize,
     tasks: Option<usize>,
     cache: bool,
+    verbose: u8,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -86,6 +108,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         jobs: 1,
         tasks: None,
         cache: false,
+        verbose: 0,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -105,12 +130,105 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--jobs" => f.jobs = val()?.parse::<usize>()?.max(1),
             "--tasks" => f.tasks = Some(val()?.parse::<usize>()?.max(1)),
             "--cache" => f.cache = true,
+            "-v" => f.verbose += 1,
+            "-vv" => f.verbose += 2,
+            "--trace-out" => f.trace_out = Some(val()?.clone()),
+            "--metrics-out" => f.metrics_out = Some(val()?.clone()),
             "--refine" => f.refine = true,
             "--assign" => f.assign = Some(val()?.clone()),
             _ => return Err(format!("unknown flag {a}").into()),
         }
     }
     Ok(f)
+}
+
+/// The observability bundle built from the CLI flags: a [`Tee`] fanning
+/// events out to the JSONL trace file (`--trace-out`, Trace level), the
+/// metrics accumulator (`--metrics-out` or `-v`), and a human-readable
+/// stderr sink (`-v` Info, `-vv` Trace). When no observability flag is
+/// set the tee is empty and recording is a no-op.
+struct Obs {
+    recorder: Arc<dyn Recorder>,
+    jsonl: Option<Arc<JsonlRecorder>>,
+    metrics: Option<Arc<MetricsRecorder>>,
+    t0: Instant,
+}
+
+impl Obs {
+    /// Whether any observability flag was given — if so, the command
+    /// routes through the portfolio engine even at `--jobs 1`, so the
+    /// emission pipeline is identical at every jobs level.
+    fn active(f: &Flags) -> bool {
+        f.verbose > 0 || f.trace_out.is_some() || f.metrics_out.is_some()
+    }
+
+    fn from_flags(f: &Flags) -> Result<Obs, Box<dyn Error>> {
+        let mut tee = Tee::new();
+        let mut jsonl = None;
+        if let Some(path) = &f.trace_out {
+            let r = Arc::new(
+                JsonlRecorder::create(path)
+                    .map_err(|e| format!("cannot create trace file {path}: {e}"))?,
+            );
+            jsonl = Some(Arc::clone(&r));
+            tee = tee.with(r);
+        }
+        let mut metrics = None;
+        if f.metrics_out.is_some() || f.verbose > 0 {
+            let m = Arc::new(MetricsRecorder::new());
+            tee = tee.with(Arc::clone(&m) as Arc<dyn Recorder>);
+            metrics = Some(m);
+        }
+        if f.verbose > 0 {
+            let max = if f.verbose >= 2 {
+                Level::Trace
+            } else {
+                Level::Info
+            };
+            tee = tee.with(Arc::new(StderrRecorder::new(max)));
+        }
+        Ok(Obs {
+            recorder: Arc::new(tee),
+            jsonl,
+            metrics,
+            t0: Instant::now(),
+        })
+    }
+
+    /// Flushes the trace file and writes/prints the metrics snapshot.
+    /// `extra` carries per-command metadata (runs, tasks, …); wall time
+    /// lands in the snapshot's `timing` section, keeping the rest of
+    /// the file deterministic for a fixed seed.
+    fn finish(
+        &self,
+        f: &Flags,
+        cmd: &str,
+        file: &str,
+        extra: &[(&str, String)],
+    ) -> Result<(), Box<dyn Error>> {
+        if let Some(j) = &self.jsonl {
+            j.flush()?;
+        }
+        if let Some(m) = &self.metrics {
+            let mut snap = m.snapshot();
+            snap.set_meta("cmd", cmd);
+            snap.set_meta("file", file);
+            snap.set_meta("seed", f.seed.to_string());
+            snap.set_meta("jobs", f.jobs.to_string());
+            for (k, v) in extra {
+                snap.set_meta(k, v.clone());
+            }
+            snap.set_timing("wall_ms", self.t0.elapsed().as_millis() as u64);
+            if let Some(out) = &f.metrics_out {
+                std::fs::write(out, snap.to_json())?;
+                eprintln!("metrics written to {out}");
+            }
+            if f.verbose > 0 {
+                eprintln!("{}", metrics_table("run metrics", &snap));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn budget_of(f: &Flags) -> Budget {
@@ -212,11 +330,16 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         .with_replication(mode_of(f)?)
         .with_budget(budget_of(f));
     let runs = f.runs.max(1);
-    if f.jobs > 1 || f.cache {
+    if f.jobs > 1 || f.cache || Obs::active(f) {
         // Portfolio engine path: same printed solution as the
         // sequential harness for a fixed seed, by the engine's
-        // determinism contract.
-        let engine = Engine::new(f.jobs).with_cache(f.cache);
+        // determinism contract. Observability flags force this path
+        // even at --jobs 1 so the emission pipeline (and the stripped
+        // trace) is identical at every jobs level.
+        let obs = Obs::from_flags(f)?;
+        let engine = Engine::new(f.jobs)
+            .with_cache(f.cache)
+            .with_recorder(Arc::clone(&obs.recorder));
         let (stats, _hit) = engine.bipartition_many(&hg, &cfg, runs)?;
         note_degradation(&stats.degradation);
         println!(
@@ -233,6 +356,7 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         );
         note_workers(&stats.workers);
         note_cache(&engine);
+        obs.finish(f, "bipartition", path, &[("runs", runs.to_string())])?;
         return Ok(());
     }
     let stats = run_many(&hg, &cfg, runs)?;
@@ -269,12 +393,17 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
     if let Some(n) = f.max_attempts {
         cfg = cfg.with_max_attempts(n);
     }
-    let mut res = if f.jobs > 1 || f.tasks.is_some() || f.cache {
+    let obs_active = Obs::active(f);
+    let mut res = if f.jobs > 1 || f.tasks.is_some() || f.cache || obs_active {
         // Portfolio engine path. The task count is fixed independently
         // of --jobs (default 4), which is what makes the reduction
-        // jobs-invariant.
+        // jobs-invariant. Observability flags force this path even at
+        // --jobs 1 (see cmd_bipartition).
         let tasks = f.tasks.unwrap_or(4);
-        let engine = Engine::new(f.jobs).with_cache(f.cache);
+        let obs = Obs::from_flags(f)?;
+        let engine = Engine::new(f.jobs)
+            .with_cache(f.cache)
+            .with_recorder(Arc::clone(&obs.recorder));
         let (pres, _hit) = engine.kway(&hg, &cfg, tasks)?;
         eprintln!(
             "portfolio: task {} of {} won ({} feasible{})",
@@ -285,6 +414,7 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         );
         note_workers(&pres.workers);
         note_cache(&engine);
+        obs.finish(f, "kway", path, &[("tasks", tasks.to_string())])?;
         pres.result.clone()
     } else {
         kway_partition(&hg, &cfg)?

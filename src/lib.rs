@@ -19,6 +19,8 @@
 //! * [`engine`] — the deterministic parallel portfolio engine
 //!   (multi-threaded multi-start with a shared incumbent and result
 //!   cache);
+//! * [`obs`] — the structured observability layer (deterministic JSONL
+//!   run traces, paper-metric gauges, metrics snapshots);
 //! * [`report`] — experiment tables.
 //!
 //! # Examples
@@ -52,6 +54,7 @@ pub use netpart_engine as engine;
 pub use netpart_fpga as fpga;
 pub use netpart_hypergraph as hypergraph;
 pub use netpart_netlist as netlist;
+pub use netpart_obs as obs;
 pub use netpart_report as report;
 pub use netpart_techmap as techmap;
 
@@ -71,6 +74,9 @@ pub mod prelude {
     };
     pub use netpart_netlist::{
         bench_suite, generate, parse_blif, write_blif, GateKind, GeneratorConfig, Netlist,
+    };
+    pub use netpart_obs::{
+        strip_timing, Event, JsonlRecorder, Level, MetricsRecorder, MetricsSnapshot, Recorder, Tee,
     };
     pub use netpart_techmap::{decompose_wide_gates, map, MapperConfig};
 }

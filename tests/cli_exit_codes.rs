@@ -13,7 +13,9 @@ fn netpart() -> Command {
 }
 
 fn data(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data").join(name)
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
 }
 
 #[test]
@@ -22,13 +24,21 @@ fn stats_on_good_blif_exits_zero() {
         .args(["stats", data("good_tiny.blif").to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
 fn parse_failure_exits_one_with_line_number() {
     let out = netpart()
-        .args(["stats", data("bad_unknown_directive.blif").to_str().unwrap()])
+        .args([
+            "stats",
+            data("bad_unknown_directive.blif").to_str().unwrap(),
+        ])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
@@ -65,7 +75,12 @@ fn budgeted_bipartition_is_degraded_but_exits_zero() {
         .args(["synth", "500", blif.to_str().unwrap(), "--seed", "3"])
         .output()
         .expect("binary runs");
-    assert_eq!(out.status.code(), Some(0), "synth failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = netpart()
         .args([

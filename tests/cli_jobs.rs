@@ -14,7 +14,13 @@ fn synth(dir: &std::path::Path, gates: &str, seed: &str) -> PathBuf {
     std::fs::create_dir_all(dir).expect("temp dir");
     let blif = dir.join(format!("synth-{gates}-{seed}.blif"));
     let out = netpart()
-        .args(["synth", gates, blif.to_str().expect("utf8 path"), "--seed", seed])
+        .args([
+            "synth",
+            gates,
+            blif.to_str().expect("utf8 path"),
+            "--seed",
+            seed,
+        ])
         .output()
         .expect("binary runs");
     assert_eq!(
@@ -93,6 +99,56 @@ fn kway_stdout_is_identical_across_jobs_levels_for_fixed_tasks() {
 }
 
 #[test]
+fn observability_flags_leave_stdout_identical_across_jobs_levels() {
+    // --trace-out / --metrics-out route the run through the engine even
+    // at --jobs 1, and must not disturb the stdout contract: with the
+    // flags, stdout stays byte-identical across jobs levels AND equal
+    // to the flag-free run (trace and metrics go to files, events to
+    // stderr only under -v).
+    let dir = tmp();
+    let blif = synth(&dir, "300", "7");
+    let run = |jobs: &str, observed: bool| {
+        let mut cmd = netpart();
+        cmd.args([
+            "bipartition",
+            blif.to_str().expect("utf8 path"),
+            "--runs",
+            "6",
+            "--seed",
+            "5",
+            "--jobs",
+            jobs,
+        ]);
+        if observed {
+            let trace = dir.join(format!("obs-{jobs}.jsonl"));
+            let metrics = dir.join(format!("obs-{jobs}.json"));
+            cmd.args([
+                "--trace-out",
+                trace.to_str().expect("utf8 path"),
+                "--metrics-out",
+                metrics.to_str().expect("utf8 path"),
+            ]);
+        }
+        let out = cmd.output().expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "jobs={jobs} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let bare = run("1", false);
+    let observed = run("1", true);
+    assert_eq!(
+        observed, bare,
+        "--trace-out/--metrics-out changed stdout at --jobs 1"
+    );
+    assert_eq!(run("2", true), bare, "observed --jobs 2 diverged");
+    assert_eq!(run("8", true), bare, "observed --jobs 8 diverged");
+}
+
+#[test]
 fn budgeted_portfolio_bipartition_still_exits_zero() {
     // A zero wall budget leaves only the guaranteed first start — a
     // degraded result (note on stderr), never a failure.
@@ -117,7 +173,10 @@ fn budgeted_portfolio_bipartition_still_exits_zero() {
         String::from_utf8_lossy(&out.stderr)
     );
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("note:"), "expected a degradation note, got: {err}");
+    assert!(
+        err.contains("note:"),
+        "expected a degradation note, got: {err}"
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1 runs:"), "stdout: {stdout}");
 }

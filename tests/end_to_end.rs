@@ -77,7 +77,9 @@ fn replication_never_worse_across_seeds() {
         let plain = bipartition(&hg, &base);
         let repl = bipartition(
             &hg,
-            &base.clone().with_replication(ReplicationMode::functional(0)),
+            &base
+                .clone()
+                .with_replication(ReplicationMode::functional(0)),
         );
         assert!(
             repl.cut <= plain.cut,
@@ -96,11 +98,15 @@ fn threshold_restricts_replication() {
     // replicate no more cells than T = 0 does.
     let t0 = bipartition(
         &hg,
-        &base.clone().with_replication(ReplicationMode::functional(0)),
+        &base
+            .clone()
+            .with_replication(ReplicationMode::functional(0)),
     );
     let t99 = bipartition(
         &hg,
-        &base.clone().with_replication(ReplicationMode::functional(99)),
+        &base
+            .clone()
+            .with_replication(ReplicationMode::functional(99)),
     );
     assert!(t99.replicated_cells <= t0.replicated_cells);
 }

@@ -153,7 +153,8 @@ fn run_many_fault_and_budget_sweep() {
     let scenarios: Vec<(String, BipartitionConfig)> = vec![
         (
             "fault: moves=1".into(),
-            base.clone().with_fault(FaultPlan::none().kill_after_moves(1)),
+            base.clone()
+                .with_fault(FaultPlan::none().kill_after_moves(1)),
         ),
         (
             "fault: moves=200".into(),
@@ -165,8 +166,14 @@ fn run_many_fault_and_budget_sweep() {
             base.clone()
                 .with_fault(FaultPlan::none().kill_after_passes(1)),
         ),
-        ("budget: wall=0ms".into(), base.clone().with_budget(Budget::wall_ms(0))),
-        ("budget: wall=5ms".into(), base.clone().with_budget(Budget::wall_ms(5))),
+        (
+            "budget: wall=0ms".into(),
+            base.clone().with_budget(Budget::wall_ms(0)),
+        ),
+        (
+            "budget: wall=5ms".into(),
+            base.clone().with_budget(Budget::wall_ms(5)),
+        ),
         (
             "budget: moves=1".into(),
             base.clone().with_budget(Budget::none().with_max_moves(1)),
@@ -191,7 +198,8 @@ fn run_many_fault_and_budget_sweep() {
             Err(e) => assert!(
                 matches!(
                     e,
-                    PartitionError::BudgetExhausted { .. } | PartitionError::InfeasibleLibrary { .. }
+                    PartitionError::BudgetExhausted { .. }
+                        | PartitionError::InfeasibleLibrary { .. }
                 ),
                 "{ctx}: unexpected error kind {e}"
             ),
