@@ -1,0 +1,72 @@
+//! Criterion bench for the FM selection-structure rewrite: seeded
+//! bipartitions under the incremental `GainBuckets` ladder (default)
+//! vs the retained `LazyHeap` baseline, at two circuit scales and in
+//! all three replication modes.
+//!
+//! Quick mode for CI: `cargo bench --bench fm_pass -- --quick`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_core::{bipartition, BipartitionConfig, ReplicationMode, SelectionStrategy};
+use netpart_hypergraph::Hypergraph;
+use netpart_netlist::bench_suite;
+use netpart_techmap::{map, MapperConfig};
+
+fn circuit(name: &str, scale: usize) -> Hypergraph {
+    let nl = bench_suite::build_scaled(name, scale).expect("known benchmark");
+    map(&nl, &MapperConfig::xc3000())
+        .expect("maps")
+        .to_hypergraph(&nl)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_pass_selection");
+    group.sample_size(10);
+    for (name, scale) in [("c3540", 2), ("s5378", 2)] {
+        let hg = circuit(name, scale);
+        let label = format!("{name}/{}clb", hg.stats().clbs);
+        for (tag, strategy) in [
+            ("buckets", SelectionStrategy::GainBuckets),
+            ("heap", SelectionStrategy::LazyHeap),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(tag, &label),
+                &hg,
+                |b, hg| {
+                    let cfg = BipartitionConfig::equal(hg, 0.1)
+                        .with_seed(1)
+                        .with_replication(ReplicationMode::functional(0))
+                        .with_selection(strategy);
+                    b.iter(|| {
+                        let r = bipartition(hg, &cfg);
+                        assert_eq!(r.gain_repairs, 0);
+                        r.cut
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_pass_modes");
+    group.sample_size(10);
+    let hg = circuit("c3540", 2);
+    for (tag, mode) in [
+        ("none", ReplicationMode::None),
+        ("traditional", ReplicationMode::Traditional),
+        ("functional", ReplicationMode::functional(0)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("buckets", tag), &hg, |b, hg| {
+            let cfg = BipartitionConfig::equal(hg, 0.1)
+                .with_seed(1)
+                .with_replication(mode)
+                .with_selection(SelectionStrategy::GainBuckets);
+            b.iter(|| bipartition(hg, &cfg).cut)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,359 @@
+//! The classic Fiduccia–Mattheyses gain-bucket ladder.
+//!
+//! [`GainBuckets`] keeps every candidate cell in a bucket array indexed
+//! by `(gain, tie)` over the static gain range `[-p_max, +p_max]`, with
+//! a doubly linked intrusive list per bucket and a moving max-gain
+//! pointer. All structural operations — insert, remove, reposition after
+//! an incremental gain update — are O(1); selection walks the max
+//! pointer downward, which amortizes to O(total gain change) per pass,
+//! the linear-time property FM is built on.
+//!
+//! Gains outside `±p_max` (possible for replication moves whose bound is
+//! looser than the single-move pin bound) overflow into a small sorted
+//! side list so their priorities stay exact instead of being clamped.
+//!
+//! # Ordering contract
+//!
+//! Selection returns the maximum `(gain, tie)` pair; the tie byte
+//! encodes the pass's move preference (unreplicate > move > replicate).
+//! Within one `(gain, tie)` bucket the order is LIFO (most recently
+//! inserted first) — deterministic, because every insertion is driven by
+//! the deterministic pass loop. Overflow entries break exact `(gain,
+//! tie)` ties by the *lowest* cell id. A bucket entry and an overflow
+//! entry can never share a key (overflow holds out-of-range gains only),
+//! so the combined order is total and reproducible run-to-run — the
+//! fixed-seed determinism the portfolio engine's `--jobs` byte-identity
+//! contract builds on.
+
+/// End-of-list sentinel for the intrusive links.
+const NIL: u32 = u32::MAX;
+/// `slot` marker: the cell is not in the structure.
+const ABSENT: u32 = u32::MAX;
+/// `slot` marker: the cell lives in the overflow list.
+const OVERFLOW: u32 = u32::MAX - 1;
+/// Tie classes per gain value (unreplicate / move / replicate).
+const TIES: usize = 3;
+
+/// A bucket-array priority structure over cells keyed by `(gain, tie)`.
+///
+/// See the module docs for the ordering contract. Cell ids must be
+/// `< n_cells` passed at construction; each cell is present at most
+/// once.
+#[derive(Debug)]
+pub(crate) struct GainBuckets {
+    /// Gain magnitude bound of the bucket array: in-range gains satisfy
+    /// `-p_max <= gain <= p_max`.
+    p_max: i64,
+    /// Head cell of each `(gain, tie)` bucket (`NIL` when empty).
+    heads: Vec<u32>,
+    /// Intrusive forward links, indexed by cell.
+    next: Vec<u32>,
+    /// Intrusive backward links, indexed by cell (`NIL` at a head).
+    prev: Vec<u32>,
+    /// Bucket slot of each cell, `ABSENT`, or `OVERFLOW`.
+    slot: Vec<u32>,
+    /// Current key of each present cell (used to relocate overflow
+    /// entries and to skip no-op repositions).
+    key: Vec<(i64, u8)>,
+    /// Out-of-range entries as `(gain, tie, cell)`, sorted ascending by
+    /// `(gain, tie, !cell)` so the maximum — lowest cell id on exact
+    /// ties — is last.
+    overflow: Vec<(i64, u8, u32)>,
+    /// Highest bucket slot that may be non-empty (moving max pointer).
+    max_slot: usize,
+    /// Number of cells currently in the structure.
+    len: usize,
+    /// Bucket slots examined while walking the max pointer (telemetry).
+    scans: u64,
+}
+
+impl GainBuckets {
+    /// An empty structure for cells `0..n_cells` and in-range gains
+    /// `[-p_max, +p_max]`.
+    pub(crate) fn new(n_cells: usize, p_max: i64) -> Self {
+        let p_max = p_max.max(0);
+        let n_slots = (2 * p_max as usize + 1) * TIES;
+        GainBuckets {
+            p_max,
+            heads: vec![NIL; n_slots],
+            next: vec![NIL; n_cells],
+            prev: vec![NIL; n_cells],
+            slot: vec![ABSENT; n_cells],
+            key: vec![(0, 0); n_cells],
+            overflow: Vec::new(),
+            max_slot: 0,
+            len: 0,
+            scans: 0,
+        }
+    }
+
+    /// Number of cells in the structure.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the structure is empty.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `cell` is currently present.
+    pub(crate) fn contains(&self, cell: u32) -> bool {
+        self.slot[cell as usize] != ABSENT
+    }
+
+    /// Bucket slots examined so far while moving the max pointer.
+    pub(crate) fn scans(&self) -> u64 {
+        self.scans
+    }
+
+    fn slot_of(&self, gain: i64, tie: u8) -> Option<usize> {
+        debug_assert!((1..=TIES as u8).contains(&tie), "tie class out of range");
+        if gain < -self.p_max || gain > self.p_max {
+            return None;
+        }
+        Some(((gain + self.p_max) as usize) * TIES + (tie as usize - 1))
+    }
+
+    fn key_of_slot(&self, slot: usize) -> (i64, u8) {
+        ((slot / TIES) as i64 - self.p_max, (slot % TIES) as u8 + 1)
+    }
+
+    /// Ascending sort key for the overflow list: maximum last, lowest
+    /// cell id first among exact `(gain, tie)` ties.
+    fn overflow_key(entry: (i64, u8, u32)) -> (i64, u8, u32) {
+        (entry.0, entry.1, !entry.2)
+    }
+
+    /// Inserts `cell` with the given key.
+    ///
+    /// The cell must not already be present (debug-asserted); the pass
+    /// loop guarantees this by repositioning via [`GainBuckets::update`].
+    pub(crate) fn insert(&mut self, cell: u32, gain: i64, tie: u8) {
+        debug_assert!(!self.contains(cell), "cell {cell} inserted twice");
+        self.key[cell as usize] = (gain, tie);
+        match self.slot_of(gain, tie) {
+            Some(s) => {
+                let head = self.heads[s];
+                self.next[cell as usize] = head;
+                self.prev[cell as usize] = NIL;
+                if head != NIL {
+                    self.prev[head as usize] = cell;
+                }
+                self.heads[s] = cell;
+                self.slot[cell as usize] = s as u32;
+                if s > self.max_slot || self.len == 0 {
+                    self.max_slot = s;
+                }
+            }
+            None => {
+                let entry = (gain, tie, cell);
+                let pos = self
+                    .overflow
+                    .partition_point(|&e| Self::overflow_key(e) < Self::overflow_key(entry));
+                self.overflow.insert(pos, entry);
+                self.slot[cell as usize] = OVERFLOW;
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes `cell` if present; returns whether it was.
+    pub(crate) fn remove(&mut self, cell: u32) -> bool {
+        let s = self.slot[cell as usize];
+        match s {
+            ABSENT => return false,
+            OVERFLOW => {
+                let key = self.key[cell as usize];
+                let entry = (key.0, key.1, cell);
+                let pos = self
+                    .overflow
+                    .partition_point(|&e| Self::overflow_key(e) < Self::overflow_key(entry));
+                debug_assert!(self.overflow.get(pos) == Some(&entry), "overflow desync");
+                self.overflow.remove(pos);
+            }
+            s => {
+                let s = s as usize;
+                let (p, n) = (self.prev[cell as usize], self.next[cell as usize]);
+                if p == NIL {
+                    self.heads[s] = n;
+                } else {
+                    self.next[p as usize] = n;
+                }
+                if n != NIL {
+                    self.prev[n as usize] = p;
+                }
+            }
+        }
+        self.slot[cell as usize] = ABSENT;
+        self.next[cell as usize] = NIL;
+        self.prev[cell as usize] = NIL;
+        self.len -= 1;
+        true
+    }
+
+    /// Repositions `cell` under a new key, inserting it if absent. A
+    /// no-op when the key is unchanged and the cell is present.
+    pub(crate) fn update(&mut self, cell: u32, gain: i64, tie: u8) {
+        if self.contains(cell) {
+            if self.key[cell as usize] == (gain, tie) {
+                return;
+            }
+            self.remove(cell);
+        }
+        self.insert(cell, gain, tie);
+    }
+
+    /// Removes and returns the maximum-key cell, or `None` when empty.
+    pub(crate) fn pop(&mut self) -> Option<(u32, i64, u8)> {
+        if self.is_empty() {
+            return None;
+        }
+        // Walk the max pointer down to the first non-empty bucket.
+        let bucket_top = loop {
+            if self.heads[self.max_slot] != NIL {
+                break Some(self.max_slot);
+            }
+            self.scans += 1;
+            if self.max_slot == 0 {
+                break None;
+            }
+            self.max_slot -= 1;
+        };
+        let from_overflow = match (bucket_top, self.overflow.last()) {
+            (None, Some(_)) => true,
+            (Some(s), Some(&(g, t, _))) => (g, t) > self.key_of_slot(s),
+            (_, None) => false,
+        };
+        if from_overflow {
+            let (g, t, cell) = *self.overflow.last().expect("checked non-empty");
+            self.remove(cell);
+            return Some((cell, g, t));
+        }
+        let s = bucket_top?;
+        let cell = self.heads[s];
+        self.remove(cell);
+        let (g, t) = self.key_of_slot(s);
+        Some((cell, g, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_gain_then_tie_order() {
+        let mut b = GainBuckets::new(8, 4);
+        b.insert(0, -2, 2);
+        b.insert(1, 3, 1);
+        b.insert(2, 3, 3);
+        b.insert(3, 0, 2);
+        assert_eq!(b.len(), 4);
+        // Highest gain first; on a gain tie the higher tie class wins.
+        assert_eq!(b.pop(), Some((2, 3, 3)));
+        assert_eq!(b.pop(), Some((1, 3, 1)));
+        assert_eq!(b.pop(), Some((3, 0, 2)));
+        assert_eq!(b.pop(), Some((0, -2, 2)));
+        assert_eq!(b.pop(), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn equal_keys_pop_lifo() {
+        let mut b = GainBuckets::new(4, 2);
+        b.insert(0, 1, 2);
+        b.insert(1, 1, 2);
+        b.insert(2, 1, 2);
+        assert_eq!(b.pop(), Some((2, 1, 2)));
+        assert_eq!(b.pop(), Some((1, 1, 2)));
+        assert_eq!(b.pop(), Some((0, 1, 2)));
+    }
+
+    #[test]
+    fn out_of_range_gains_overflow_with_exact_priority() {
+        let mut b = GainBuckets::new(8, 2);
+        b.insert(0, 9, 1); // above +p_max
+        b.insert(1, 1, 2);
+        b.insert(2, -7, 2); // below -p_max
+        b.insert(3, 9, 1); // same overflow key except cell: lower id wins
+        assert_eq!(b.pop(), Some((0, 9, 1)));
+        assert_eq!(b.pop(), Some((3, 9, 1)));
+        assert_eq!(b.pop(), Some((1, 1, 2)));
+        assert_eq!(b.pop(), Some((2, -7, 2)));
+        assert_eq!(b.pop(), None);
+    }
+
+    #[test]
+    fn update_repositions_and_raises_the_max_pointer() {
+        let mut b = GainBuckets::new(4, 5);
+        b.insert(0, -3, 2);
+        b.insert(1, 0, 2);
+        assert_eq!(b.pop(), Some((1, 0, 2)));
+        // Raising a gain after the pointer moved down must still win.
+        b.update(0, 4, 2);
+        b.insert(1, 2, 2);
+        assert_eq!(b.pop(), Some((0, 4, 2)));
+        assert_eq!(b.pop(), Some((1, 2, 2)));
+    }
+
+    #[test]
+    fn update_with_same_key_is_a_noop() {
+        let mut b = GainBuckets::new(2, 3);
+        b.insert(0, 2, 1);
+        b.insert(1, 2, 1);
+        b.update(1, 2, 1); // would reorder the LIFO bucket if not a no-op
+        assert_eq!(b.pop(), Some((1, 2, 1)));
+        assert_eq!(b.pop(), Some((0, 2, 1)));
+    }
+
+    #[test]
+    fn remove_unlinks_from_the_middle() {
+        let mut b = GainBuckets::new(4, 3);
+        b.insert(0, 1, 2);
+        b.insert(1, 1, 2);
+        b.insert(2, 1, 2);
+        assert!(b.remove(1));
+        assert!(!b.remove(1));
+        assert!(!b.contains(1));
+        assert_eq!(b.pop(), Some((2, 1, 2)));
+        assert_eq!(b.pop(), Some((0, 1, 2)));
+        assert_eq!(b.pop(), None);
+    }
+
+    #[test]
+    fn overflow_and_bucket_interleave_correctly() {
+        let mut b = GainBuckets::new(8, 1);
+        b.insert(0, 1, 2); // bucket top
+        b.insert(1, 5, 1); // overflow, higher gain
+        b.insert(2, -4, 3); // overflow, lower than any bucket
+        b.insert(3, 0, 3);
+        assert_eq!(b.pop(), Some((1, 5, 1)));
+        assert_eq!(b.pop(), Some((0, 1, 2)));
+        assert_eq!(b.pop(), Some((3, 0, 3)));
+        assert_eq!(b.pop(), Some((2, -4, 3)));
+    }
+
+    #[test]
+    fn scans_count_bucket_walks() {
+        let mut b = GainBuckets::new(2, 10);
+        b.insert(0, 10, 3);
+        b.insert(1, -10, 1);
+        assert_eq!(b.pop(), Some((0, 10, 3)));
+        let before = b.scans();
+        assert_eq!(b.pop(), Some((1, -10, 1)));
+        assert!(b.scans() > before, "walking down must be counted");
+    }
+
+    #[test]
+    fn zero_pmax_still_works_via_overflow() {
+        let mut b = GainBuckets::new(3, 0);
+        b.insert(0, 0, 2);
+        b.insert(1, 3, 2);
+        b.insert(2, -1, 2);
+        assert_eq!(b.pop(), Some((1, 3, 2)));
+        assert_eq!(b.pop(), Some((0, 0, 2)));
+        assert_eq!(b.pop(), Some((2, -1, 2)));
+    }
+}

@@ -82,7 +82,7 @@ impl Budget {
 /// flag. A [`RunClock`] built with [`RunClock::with_shared`] polls the
 /// token on its wall-check path and latches
 /// [`StopReason::Cancelled`] once it is set, so an in-flight FM run
-/// drains at its next checkpoint (at most [`WALL_CHECK_STRIDE`] moves
+/// drains at its next checkpoint (at most `WALL_CHECK_STRIDE` moves
 /// later) instead of running to completion.
 ///
 /// Cancellation is one-way: there is no `reset`. A portfolio that wants

@@ -36,6 +36,20 @@ impl ReplicationMode {
     }
 }
 
+/// How the FM pass selects the next move to try.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SelectionStrategy {
+    /// The classic FM gain-bucket ladder with incremental delta updates
+    /// — linear-time gain maintenance, the default.
+    #[default]
+    GainBuckets,
+    /// A lazy max-heap that re-derives every touched neighbor's best
+    /// move after each applied move. Kept as the benchmark baseline the
+    /// `fm_pass` bench compares against.
+    LazyHeap,
+}
+
 /// Configuration of one bipartitioning run.
 ///
 /// Construct with [`BipartitionConfig::equal`] (the paper's first
@@ -74,6 +88,10 @@ pub struct BipartitionConfig {
     /// Deterministic fault-injection plan (testing hook); see
     /// [`FaultPlan`]. [`FaultPlan::none`] by default.
     pub fault: FaultPlan,
+    /// Move-selection structure of the FM pass;
+    /// [`SelectionStrategy::GainBuckets`] by default.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub selection: SelectionStrategy,
 }
 
 impl BipartitionConfig {
@@ -98,6 +116,7 @@ impl BipartitionConfig {
             max_growth: None,
             budget: Budget::none(),
             fault: FaultPlan::none(),
+            selection: SelectionStrategy::default(),
         }
     }
 
@@ -113,6 +132,7 @@ impl BipartitionConfig {
             max_growth: None,
             budget: Budget::none(),
             fault: FaultPlan::none(),
+            selection: SelectionStrategy::default(),
         }
     }
 
@@ -155,6 +175,12 @@ impl BipartitionConfig {
     /// Arms a fault-injection plan (testing hook).
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Sets the move-selection strategy of the FM pass.
+    pub fn with_selection(mut self, s: SelectionStrategy) -> Self {
+        self.selection = s;
         self
     }
 

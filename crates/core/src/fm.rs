@@ -1,9 +1,20 @@
 //! The Fiduccia–Mattheyses pass structure, extended with replication
 //! moves (paper §III-D): gain-ordered move selection, lock-after-move,
 //! rollback to the best balanced prefix, repeated passes to convergence.
+//!
+//! Move selection is pluggable via
+//! [`SelectionStrategy`](crate::config::SelectionStrategy): the default
+//! is the classic FM gain-bucket ladder ([`crate::buckets`]) with
+//! **incremental** gain maintenance — after each applied move only the
+//! net contributions that actually changed are re-evaluated, against
+//! before/after snapshots of the per-net endpoint counts — giving the
+//! linear-time pass the algorithm is known for. A lazy max-heap that
+//! re-derives every touched neighbor's best move from scratch is kept
+//! as the benchmark baseline (`fm_pass` bench).
 
+use crate::buckets::GainBuckets;
 use crate::budget::RunClock;
-use crate::config::{BipartitionConfig, ReplicationMode};
+use crate::config::{BipartitionConfig, ReplicationMode, SelectionStrategy};
 use crate::error::StopReason;
 use crate::state::{CellState, EngineState};
 use netpart_hypergraph::{CellId, Hypergraph, Placement};
@@ -33,6 +44,13 @@ pub struct BipartitionResult {
     /// [`ReplicationMode::Traditional`] with replicas present (traditional
     /// copies share output nets and have no [`Placement`] form).
     pub placement: Option<Placement>,
+    /// Stale-gain repairs across all passes: moves whose cached gain
+    /// diverged from the realized gain and were therefore undone,
+    /// refreshed and reselected instead of being applied under a wrong
+    /// priority. 0 in normal operation — the incremental updates are
+    /// exact — so any nonzero value flags a gain-maintenance defect
+    /// without corrupting the result.
+    pub gain_repairs: usize,
 }
 
 /// Move priority on gain ties: prefer shrinking work (unreplication),
@@ -136,19 +154,338 @@ fn legal(
     }
 }
 
+/// Applies a state change whose gain was predicted as `expected`. On
+/// divergence the move is rolled back and `Err(realized)` returned,
+/// leaving the engine exactly as it was — the release-safe replacement
+/// for the old `debug_assert_eq!`, which let release builds silently
+/// apply moves under a wrong priority.
+fn apply_exact(
+    engine: &mut EngineState<'_>,
+    c: CellId,
+    new: CellState,
+    expected: i64,
+) -> Result<i64, i64> {
+    let prev = engine.cell_state(c);
+    let realized = engine.set_state(c, new);
+    if realized == expected {
+        Ok(realized)
+    } else {
+        engine.set_state(c, prev);
+        Err(realized)
+    }
+}
+
+/// One possible move of a cell during a pass, with its live gain.
+///
+/// The candidate *set* of a cell is fixed for a whole pass — a cell's
+/// own state changes only when a move on it is applied (which locks it)
+/// or undone by a repair (which restores it) — so only `gain` moves,
+/// via the incremental delta updates.
+struct Candidate {
+    state: CellState,
+    tie: u8,
+    gain: i64,
+}
+
+/// Enumerates the candidate moves of `c` (same set and order as
+/// [`best_candidate`]), seeding each gain from a full [`EngineState::peek_gain`].
+fn push_candidates(
+    engine: &EngineState<'_>,
+    cfg: &BipartitionConfig,
+    psi: &[u32],
+    c: CellId,
+    out: &mut Vec<Candidate>,
+) {
+    let mut push = |state: CellState, tie: u8| {
+        out.push(Candidate {
+            state,
+            tie,
+            gain: engine.peek_gain(c, state),
+        });
+    };
+    let cell = engine.hypergraph().cell(c);
+    match engine.cell_state(c) {
+        CellState::Single { side } => {
+            push(CellState::Single { side: 1 - side }, TIE_MOVE);
+            if !cell.is_terminal() {
+                match cfg.replication {
+                    ReplicationMode::None => {}
+                    ReplicationMode::Traditional => {
+                        push(CellState::Traditional { orig_side: side }, TIE_REPLICATE);
+                    }
+                    ReplicationMode::Functional { threshold } => {
+                        let m = cell.m_outputs();
+                        if m >= 2 && psi[c.index()] >= threshold {
+                            for o in 0..m {
+                                push(
+                                    CellState::Functional {
+                                        orig_side: side,
+                                        replica_mask: 1 << o,
+                                    },
+                                    TIE_REPLICATE,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CellState::Functional { .. } | CellState::Traditional { .. } => {
+            for side in 0..2u8 {
+                push(CellState::Single { side }, TIE_UNREPLICATE);
+            }
+        }
+    }
+}
+
+/// The maximum-`(gain, tie)` candidate of `c` in the arena; earliest
+/// wins on exact ties, matching [`best_candidate`].
+fn best_of(cands: &[Candidate], range: &[(u32, u32)], c: CellId) -> Option<(i64, u8, usize)> {
+    let (s, e) = range[c.index()];
+    let mut best: Option<(i64, u8, usize)> = None;
+    for (i, cd) in cands.iter().enumerate().take(e as usize).skip(s as usize) {
+        if best.is_none_or(|(g, t, _)| (cd.gain, cd.tie) > (g, t)) {
+            best = Some((cd.gain, cd.tie, i));
+        }
+    }
+    best
+}
+
 struct PassOutcome {
     improvement: i64,
     any_balanced: bool,
-    /// Gain-bucket (heap) statistics for telemetry: total pops, pops
-    /// skipped as stale/locked, moves applied, and the balanced prefix
-    /// kept after rollback.
-    pops: u64,
-    stale: u64,
+    /// Selection telemetry: candidates popped for consideration,
+    /// selection-structure scan work (bucket slots walked by the
+    /// max-gain pointer, or stale heap pops skipped), stale-gain
+    /// repairs, deferred cells retried after a drain, moves applied,
+    /// and the balanced prefix kept after rollback.
+    selects: u64,
+    scans: u64,
+    repairs: u64,
+    retried: u64,
     applied: u64,
     kept: u64,
 }
 
 fn run_pass(
+    engine: &mut EngineState<'_>,
+    cfg: &BipartitionConfig,
+    psi: &[u32],
+    clock: &RunClock,
+) -> PassOutcome {
+    match cfg.selection {
+        SelectionStrategy::GainBuckets => run_pass_buckets(engine, cfg, psi, clock),
+        SelectionStrategy::LazyHeap => run_pass_heap(engine, cfg, psi, clock),
+    }
+}
+
+/// One FM pass over the gain-bucket ladder with incremental updates.
+///
+/// Cells sit in [`GainBuckets`] keyed by their best candidate's
+/// `(gain, tie)`. After each applied move, only the incident nets whose
+/// endpoint counts actually changed are revisited, and each unlocked
+/// endpoint's candidate gains are adjusted by the *difference* of that
+/// net's contribution between the before/after count snapshots
+/// ([`EngineState::net_contribution`]) — no candidate is recomputed
+/// from scratch on the hot path.
+///
+/// When a cell's best candidate is area-illegal, the cell is re-keyed
+/// by its best *legal* candidate (strictly lower, so this terminates)
+/// instead of being set aside outright; cells with no legal candidate
+/// go to `deferred` and re-enter when the areas change, with one final
+/// retry should the ladder drain first.
+fn run_pass_buckets(
+    engine: &mut EngineState<'_>,
+    cfg: &BipartitionConfig,
+    psi: &[u32],
+    clock: &RunClock,
+) -> PassOutcome {
+    let hg = engine.hypergraph();
+    let total0 = hg.total_area();
+    let n = hg.n_cells();
+
+    // Bucket-array gain bound: a move changes each distinct incident
+    // net's cut contribution by at most 1. Pad-weighted gains can
+    // exceed it; those ride the exact overflow list.
+    let p_max = hg
+        .cell_ids()
+        .map(|c| EngineState::incident_nets(hg, c).len())
+        .max()
+        .unwrap_or(0) as i64;
+
+    let mut cands: Vec<Candidate> = Vec::new();
+    let mut range: Vec<(u32, u32)> = Vec::with_capacity(n);
+    for c in hg.cell_ids() {
+        let s = cands.len() as u32;
+        push_candidates(engine, cfg, psi, c, &mut cands);
+        range.push((s, cands.len() as u32));
+    }
+
+    let mut buckets = GainBuckets::new(n, p_max);
+    for c in hg.cell_ids() {
+        if let Some((g, t, _)) = best_of(&cands, &range, c) {
+            buckets.insert(c.0, g, t);
+        }
+    }
+
+    let mut locked = vec![false; n];
+    let mut log: Vec<(CellId, CellState)> = Vec::new();
+    let mut cum = 0i64;
+    let mut best: Option<(i64, usize)> = cfg.balanced(engine.areas()).then_some((0, 0));
+    let mut deferred: Vec<CellId> = Vec::new();
+    let mut drained_retry = false;
+    let mut selects = 0u64;
+    let mut repairs = 0u64;
+    let mut retried = 0u64;
+
+    // Reused per-move scratch.
+    let mut before: Vec<([u32; 2], [u32; 2])> = Vec::new();
+    let mut in_touched = vec![false; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut seen: Vec<CellId> = Vec::new();
+
+    loop {
+        let Some((cell, gain, tie)) = buckets.pop() else {
+            // The ladder drained. Deferred cells get one retry before
+            // the pass ends — without it they would be silently dropped
+            // whenever no further applied move re-enqueues them.
+            if !deferred.is_empty() && !drained_retry {
+                drained_retry = true;
+                retried += deferred.len() as u64;
+                for c in std::mem::take(&mut deferred) {
+                    if let Some((g, t, _)) = best_of(&cands, &range, c) {
+                        buckets.update(c.0, g, t);
+                    }
+                }
+                continue;
+            }
+            break;
+        };
+        selects += 1;
+        let c = CellId(cell);
+        debug_assert!(!locked[c.index()], "locked cell left in the ladder");
+        // Pick the best candidate still legal at the current areas. The
+        // popped key is the cell's best candidate ignoring legality, or
+        // a legal-best computed at some earlier areas; when the two
+        // differ, re-key at the current legal-best and revisit. Between
+        // applied moves legality is static, so re-keys only move a cell
+        // down its candidate list and the loop terminates; an applied
+        // move (which can raise legal bests) happens at most once per
+        // cell.
+        let (s, e) = range[c.index()];
+        let mut pick: Option<(i64, u8, usize)> = None;
+        for (i, cd) in cands.iter().enumerate().take(e as usize).skip(s as usize) {
+            if pick.is_none_or(|(g, t, _)| (cd.gain, cd.tie) > (g, t))
+                && legal(engine, cfg, total0, c, cd.state)
+            {
+                pick = Some((cd.gain, cd.tie, i));
+            }
+        }
+        let Some((bg, bt, bi)) = pick else {
+            // No legal candidate at the current areas; retry once they
+            // change (or at the end-of-pass drain retry).
+            deferred.push(c);
+            continue;
+        };
+        if (bg, bt) != (gain, tie) {
+            buckets.update(cell, bg, bt);
+            continue;
+        }
+        let new = cands[bi].state;
+        let prev = engine.cell_state(c);
+        let nets = EngineState::incident_nets(hg, c);
+        before.clear();
+        before.extend(nets.iter().map(|&nt| engine.net_counts(nt)));
+        if apply_exact(engine, c, new, bg).is_err() {
+            // Stale cached gain (unreachable while the delta updates
+            // stay exact): refresh this cell from scratch and reselect.
+            repairs += 1;
+            for cd in &mut cands[s as usize..e as usize] {
+                cd.gain = engine.peek_gain(c, cd.state);
+            }
+            if let Some((g, t, _)) = best_of(&cands, &range, c) {
+                buckets.update(cell, g, t);
+            }
+            continue;
+        }
+        locked[c.index()] = true;
+        log.push((c, prev));
+        cum += bg;
+        if cfg.balanced(engine.areas()) && best.is_none_or(|(b, _)| cum > b) {
+            best = Some((cum, log.len()));
+        }
+        // A tripped budget or injected fault abandons the rest of the
+        // pass; the rollback below still restores the best balanced
+        // prefix, so interruption only costs unexplored moves.
+        if clock.tick_move().is_some() {
+            break;
+        }
+        // Incremental gain maintenance: for each incident net whose
+        // endpoint counts changed, adjust every unlocked endpoint's
+        // candidates by the difference in that net's contribution.
+        touched.clear();
+        for (i, &nt) in nets.iter().enumerate() {
+            let after = engine.net_counts(nt);
+            if after == before[i] {
+                continue;
+            }
+            seen.clear();
+            for ep in hg.net(nt).endpoints() {
+                let t = ep.cell;
+                if t == c || locked[t.index()] || seen.contains(&t) {
+                    continue;
+                }
+                seen.push(t);
+                let cur_t = engine.cell_state(t);
+                let (ts, te) = range[t.index()];
+                for cd in &mut cands[ts as usize..te as usize] {
+                    cd.gain += EngineState::net_contribution(hg, t, cur_t, cd.state, nt, after)
+                        - EngineState::net_contribution(hg, t, cur_t, cd.state, nt, before[i]);
+                }
+                if !in_touched[t.index()] {
+                    in_touched[t.index()] = true;
+                    touched.push(t.0);
+                }
+            }
+        }
+        // The areas changed, so deferred cells get another look too.
+        for d in deferred.drain(..) {
+            if !locked[d.index()] && !in_touched[d.index()] {
+                in_touched[d.index()] = true;
+                touched.push(d.0);
+            }
+        }
+        drained_retry = false;
+        for &t in &touched {
+            in_touched[t as usize] = false;
+            if let Some((g, tt, _)) = best_of(&cands, &range, CellId(t)) {
+                buckets.update(t, g, tt);
+            }
+        }
+    }
+
+    let keep = best.map_or(0, |(_, k)| k);
+    let applied = log.len() as u64;
+    for (c, prev) in log.drain(keep..).rev() {
+        engine.set_state(c, prev);
+    }
+    PassOutcome {
+        improvement: best.map_or(0, |(g, _)| g),
+        any_balanced: best.is_some(),
+        selects,
+        scans: buckets.scans(),
+        repairs,
+        retried,
+        applied,
+        kept: keep as u64,
+    }
+}
+
+/// One FM pass over a lazy max-heap: every touched neighbor's best move
+/// is re-derived from scratch after each applied move, and superseded
+/// heap entries are skipped by stamp on pop. Kept as the benchmark
+/// baseline for [`run_pass_buckets`].
+fn run_pass_heap(
     engine: &mut EngineState<'_>,
     cfg: &BipartitionConfig,
     psi: &[u32],
@@ -187,18 +524,36 @@ fn run_pass(
     let mut cum = 0i64;
     let mut best: Option<(i64, usize)> = cfg.balanced(engine.areas()).then_some((0, 0));
     let mut deferred: Vec<CellId> = Vec::new();
-    let mut pops = 0u64;
-    let mut stale = 0u64;
+    let mut drained_retry = false;
+    let mut selects = 0u64;
+    let mut scans = 0u64;
+    let mut repairs = 0u64;
+    let mut retried = 0u64;
 
-    while let Some(e) = heap.pop() {
-        pops += 1;
+    loop {
+        let Some(e) = heap.pop() else {
+            // Drained: give deferred cells one retry (see the bucket
+            // pass for rationale).
+            if !deferred.is_empty() && !drained_retry {
+                drained_retry = true;
+                retried += deferred.len() as u64;
+                for c in std::mem::take(&mut deferred) {
+                    if !locked[c.index()] {
+                        push(engine, &mut heap, &mut stamps, &mut proposed, c);
+                    }
+                }
+                continue;
+            }
+            break;
+        };
+        selects += 1;
         let c = CellId(e.cell);
         if locked[c.index()] || e.stamp != stamps[c.index()] {
-            stale += 1;
+            scans += 1;
             continue;
         }
         let Some(new) = proposed[c.index()] else {
-            stale += 1;
+            scans += 1;
             continue;
         };
         if !legal(engine, cfg, total0, c, new) {
@@ -207,11 +562,16 @@ fn run_pass(
             continue;
         }
         let prev = engine.cell_state(c);
-        let realized = engine.set_state(c, new);
-        debug_assert_eq!(realized, e.gain, "stale gain for {c:?}");
+        if apply_exact(engine, c, new, e.gain).is_err() {
+            // Stale cached gain: refresh the cell and reselect instead
+            // of applying the move under a wrong priority.
+            repairs += 1;
+            push(engine, &mut heap, &mut stamps, &mut proposed, c);
+            continue;
+        }
         locked[c.index()] = true;
         log.push((c, prev));
-        cum += realized;
+        cum += e.gain;
         if cfg.balanced(engine.areas()) && best.is_none_or(|(b, _)| cum > b) {
             best = Some((cum, log.len()));
         }
@@ -232,6 +592,7 @@ fn run_pass(
         touched.append(&mut deferred);
         touched.sort_unstable();
         touched.dedup();
+        drained_retry = false;
         for t in touched {
             if !locked[t.index()] {
                 push(engine, &mut heap, &mut stamps, &mut proposed, t);
@@ -247,8 +608,10 @@ fn run_pass(
     PassOutcome {
         improvement: best.map_or(0, |(g, _)| g),
         any_balanced: best.is_some(),
-        pops,
-        stale,
+        selects,
+        scans,
+        repairs,
+        retried,
         applied,
         kept: keep as u64,
     }
@@ -320,6 +683,7 @@ pub fn bipartition_with_clock(
     let recorder = clock.recorder();
     let moves0 = clock.moves(); // the clock may be shared across starts
     let mut stop = StopReason::Converged;
+    let mut gain_repairs = 0usize;
     'phases: for &mode in phases {
         let phase_cfg = BipartitionConfig {
             replication: mode,
@@ -334,6 +698,7 @@ pub fn bipartition_with_clock(
         for _ in 0..cfg.max_passes {
             let out = run_pass(&mut engine, &phase_cfg, &psi, clock);
             passes += 1;
+            gain_repairs += out.repairs as usize;
             if recorder.enabled(Level::Trace) {
                 recorder.record(
                     &Event::new("fm", "pass", Level::Trace)
@@ -342,10 +707,13 @@ pub fn bipartition_with_clock(
                         .field("pass", passes)
                         .field("cut", engine.cut())
                         .field("gain", out.improvement)
-                        .field("pops", out.pops)
-                        .field("stale", out.stale)
+                        .field("selects", out.selects)
+                        .field("scans", out.scans)
+                        .field("repairs", out.repairs)
+                        .field("retried", out.retried)
                         .field("applied", out.applied)
                         .field("kept", out.kept)
+                        .field("spanning", engine.spanning_nets())
                         .field("balanced", out.any_balanced),
                 );
             }
@@ -406,12 +774,16 @@ pub fn bipartition_with_clock(
         balanced: cfg.balanced(engine.areas()),
         stop,
         placement: exportable.then(|| engine.to_placement()),
+        gain_repairs,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::Budget;
+    use crate::fault::FaultPlan;
+    use netpart_hypergraph::{AdjacencyMatrix, CellKind, HypergraphBuilder};
     use netpart_netlist::{generate, GeneratorConfig};
     use netpart_techmap::{map, MapperConfig};
 
@@ -420,6 +792,49 @@ mod tests {
         map(&nl, &MapperConfig::xc3000())
             .unwrap()
             .to_hypergraph(&nl)
+    }
+
+    /// A circuit where cell `D` has two input pins on the same net `na`
+    /// — the case [`crate::gain::extract_vectors`] rejects, so every
+    /// gain for `D` must come from the engine's per-net accounting.
+    fn shared_net_circuit() -> (Hypergraph, CellId) {
+        let mut b = HypergraphBuilder::new();
+        let pa = b.add_cell("a", CellKind::input_pad(), 0, 1, AdjacencyMatrix::pad());
+        let pb = b.add_cell("b", CellKind::input_pad(), 0, 1, AdjacencyMatrix::pad());
+        let d = b.add_cell(
+            "D",
+            CellKind::logic(1),
+            2,
+            2,
+            AdjacencyMatrix::from_rows(2, &[&[0, 1], &[0, 1]]),
+        );
+        let e = b.add_cell(
+            "E",
+            CellKind::logic(1),
+            2,
+            1,
+            AdjacencyMatrix::from_rows(2, &[&[0, 1]]),
+        );
+        let na = b.add_net("na");
+        let nb = b.add_net("nb");
+        let nx = b.add_net("nx");
+        let ny = b.add_net("ny");
+        let nz = b.add_net("nz");
+        b.connect_output(na, pa, 0).unwrap();
+        b.connect_output(nb, pb, 0).unwrap();
+        // Both inputs of D ride the same net.
+        b.connect_input(na, d, 0).unwrap();
+        b.connect_input(na, d, 1).unwrap();
+        b.connect_output(nx, d, 0).unwrap();
+        b.connect_output(ny, d, 1).unwrap();
+        b.connect_input(nx, e, 0).unwrap();
+        b.connect_input(nb, e, 1).unwrap();
+        b.connect_output(nz, e, 0).unwrap();
+        let py = b.add_cell("Y", CellKind::output_pad(), 1, 0, AdjacencyMatrix::pad());
+        let pz = b.add_cell("Z", CellKind::output_pad(), 1, 0, AdjacencyMatrix::pad());
+        b.connect_input(ny, py, 0).unwrap();
+        b.connect_input(nz, pz, 0).unwrap();
+        (b.finish().unwrap(), d)
     }
 
     #[test]
@@ -488,6 +903,130 @@ mod tests {
         assert_eq!(a.cut, b.cut);
         assert_eq!(a.areas, b.areas);
         assert_eq!(a.replicated_cells, b.replicated_cells);
+    }
+
+    #[test]
+    fn shared_net_pins_partition_without_repairs() {
+        // Regression for the old `debug_assert_eq!(realized, e.gain)`:
+        // cells with two pins on one net fall outside the eq. 7 vector
+        // model, so a selection structure that mispredicted their gains
+        // would silently apply mis-prioritized moves in release builds.
+        // With per-net exact accounting no repair may ever fire, in any
+        // replication mode and under either selection strategy.
+        let (hg, d) = shared_net_circuit();
+        let e = crate::gain::extract_vectors(&EngineState::new(&hg, &[0; 6]), d);
+        assert!(e.is_none(), "fixture must hit the extract_vectors reject");
+        for selection in [SelectionStrategy::GainBuckets, SelectionStrategy::LazyHeap] {
+            for mode in [
+                ReplicationMode::None,
+                ReplicationMode::Traditional,
+                ReplicationMode::functional(0),
+            ] {
+                let cfg = BipartitionConfig::bounded([0, 0], [hg.total_area(), hg.total_area()])
+                    .with_seed(3)
+                    .with_replication(mode)
+                    .with_selection(selection);
+                let res = bipartition(&hg, &cfg);
+                assert_eq!(
+                    res.gain_repairs, 0,
+                    "stale gain under {selection:?}/{mode:?}"
+                );
+                assert!(res.balanced);
+                if let Some(p) = &res.placement {
+                    p.validate(&hg).unwrap();
+                    assert_eq!(p.cut_size(&hg), res.cut);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_exact_rolls_back_on_divergence() {
+        // The repair primitive itself: a wrong expected gain must leave
+        // the engine byte-identical instead of applying the move under
+        // a wrong priority (what release builds did before).
+        let (hg, d) = shared_net_circuit();
+        let sides = vec![0, 0, 0, 1, 1, 1];
+        let mut engine = EngineState::new(&hg, &sides);
+        let cut0 = engine.cut();
+        let st0 = engine.cell_state(d);
+        let mv = CellState::Single { side: 1 };
+        let true_gain = engine.peek_gain(d, mv);
+        assert_eq!(
+            apply_exact(&mut engine, d, mv, true_gain + 1),
+            Err(true_gain),
+            "diverging prediction must be rejected with the realized gain"
+        );
+        assert_eq!(engine.cut(), cut0);
+        assert_eq!(engine.cell_state(d), st0);
+        assert!(engine.validate(), "rollback must restore every counter");
+        assert_eq!(apply_exact(&mut engine, d, mv, true_gain), Ok(true_gain));
+        assert_eq!(engine.cell_state(d), mv);
+        assert!(engine.validate());
+    }
+
+    #[test]
+    fn deferred_cells_get_a_drain_retry() {
+        // Two logic cells in a cycle, both on side 0, with side 1 capped
+        // at zero area: every candidate move is area-illegal, so both
+        // cells land in `deferred` and the ladder drains without one
+        // applied move — exactly the case where deferred cells used to
+        // be silently dropped. The retry must re-examine each once and
+        // leave the engine untouched.
+        let mut b = HypergraphBuilder::new();
+        let c0 = b.add_cell("c0", CellKind::logic(1), 1, 1, AdjacencyMatrix::full(1, 1));
+        let c1 = b.add_cell("c1", CellKind::logic(1), 1, 1, AdjacencyMatrix::full(1, 1));
+        let n0 = b.add_net("n0");
+        let n1 = b.add_net("n1");
+        b.connect_output(n0, c0, 0).unwrap();
+        b.connect_input(n0, c1, 0).unwrap();
+        b.connect_output(n1, c1, 0).unwrap();
+        b.connect_input(n1, c0, 0).unwrap();
+        let hg = b.finish().unwrap();
+        for selection in [SelectionStrategy::GainBuckets, SelectionStrategy::LazyHeap] {
+            // A tight `u_i·c_i` ceiling: side 1 admits no area at all.
+            let cfg = BipartitionConfig::bounded([0, 0], [hg.total_area(), 0])
+                .with_selection(selection);
+            let mut engine = EngineState::new(&hg, &[0, 0]);
+            let cut0 = engine.cut();
+            let clock = RunClock::new(&Budget::none(), &FaultPlan::none());
+            let out = run_pass(&mut engine, &cfg, &[0, 0], &clock);
+            assert_eq!(out.retried, 2, "both deferred cells retried once");
+            assert_eq!(out.applied, 0);
+            assert_eq!(out.repairs, 0);
+            assert_eq!(engine.cut(), cut0, "pass must not corrupt the state");
+            assert!(engine.validate());
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_quality_and_never_repair() {
+        // Selection order (LIFO buckets vs stamped heap) legitimately
+        // differs, so exact cuts may too; what must hold for both is
+        // balance, internal consistency and zero stale-gain repairs
+        // across all replication modes on a real mapped circuit.
+        let hg = mapped(350, 25, 6);
+        for mode in [
+            ReplicationMode::None,
+            ReplicationMode::Traditional,
+            ReplicationMode::functional(1),
+        ] {
+            let base = BipartitionConfig::equal(&hg, 0.1)
+                .with_seed(13)
+                .with_replication(mode);
+            let buckets = bipartition(&hg, &base);
+            let heap = bipartition(
+                &hg,
+                &base.clone().with_selection(SelectionStrategy::LazyHeap),
+            );
+            for (label, r) in [("buckets", &buckets), ("heap", &heap)] {
+                assert!(r.balanced, "{label} unbalanced under {mode:?}");
+                assert_eq!(r.gain_repairs, 0, "{label} repaired under {mode:?}");
+                if let Some(p) = &r.placement {
+                    assert_eq!(p.cut_size(&hg), r.cut, "{label} cut mismatch");
+                }
+            }
+        }
     }
 
     #[test]

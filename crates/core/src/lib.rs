@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buckets;
 mod budget;
 mod config;
 pub mod error;
@@ -53,7 +54,7 @@ mod runs;
 mod state;
 
 pub use budget::{Budget, CancelToken, RunClock};
-pub use config::{BipartitionConfig, ReplicationMode};
+pub use config::{BipartitionConfig, ReplicationMode, SelectionStrategy};
 pub use error::{Degradation, PartitionError, Relaxation, StopReason};
 pub use extract::{extract_rest, Extraction};
 pub use fault::FaultPlan;

@@ -64,6 +64,12 @@ pub struct EngineState<'a> {
     sink_cnt: Vec<[u32; 2]>,
     /// Connected driver endpoints per net per side (0..=2).
     drv_cnt: Vec<[u32; 2]>,
+    /// Connected endpoints (sinks + drivers) per net per side — the
+    /// side-occupancy counters the bucket-based FM pass uses to detect
+    /// nets whose criticality may have shifted after a move.
+    occ_cnt: Vec<[u32; 2]>,
+    /// Number of nets currently occupied on both sides.
+    spanning: usize,
     areas: [u64; 2],
     cut: usize,
     /// Extra objective cost per terminal cell residing on each side
@@ -102,6 +108,8 @@ impl<'a> EngineState<'a> {
                 .collect(),
             sink_cnt: vec![[0; 2]; hg.n_nets()],
             drv_cnt: vec![[0; 2]; hg.n_nets()],
+            occ_cnt: vec![[0; 2]; hg.n_nets()],
+            spanning: 0,
             areas: [0; 2],
             cut: 0,
             terminal_weight,
@@ -122,11 +130,13 @@ impl<'a> EngineState<'a> {
                             Pin::Output(_) => st.drv_cnt[net.index()][side] += 1,
                             Pin::Input(_) => st.sink_cnt[net.index()][side] += 1,
                         }
+                        st.occ_cnt[net.index()][side] += 1;
                     }
                 }
             }
         }
         st.cut = hg.net_ids().filter(|&n| st.is_cut(n)).count();
+        st.spanning = st.occ_cnt.iter().filter(|o| o[0] > 0 && o[1] > 0).count();
         st
     }
 
@@ -162,6 +172,25 @@ impl<'a> EngineState<'a> {
 
     fn cut_from(sc: [u32; 2], dc: [u32; 2]) -> bool {
         (0..2).any(|s| sc[s] > 0 && dc[s] == 0 && dc[1 - s] > 0)
+    }
+
+    /// Connected `(sink, driver)` endpoint counts of a net per side —
+    /// the snapshot the incremental bucket pass diffs around a move.
+    pub(crate) fn net_counts(&self, net: NetId) -> ([u32; 2], [u32; 2]) {
+        (self.sink_cnt[net.index()], self.drv_cnt[net.index()])
+    }
+
+    /// Connected endpoints (sinks plus drivers) of a net per side.
+    pub fn net_side_occupancy(&self, net: NetId) -> [u32; 2] {
+        self.occ_cnt[net.index()]
+    }
+
+    /// Number of nets with connected endpoints on both sides. A
+    /// superset of the cut (a traditionally replicated driver occupies
+    /// both sides without cutting its output nets); reported as the
+    /// `spanning` field of `fm.pass` trace events.
+    pub fn spanning_nets(&self) -> usize {
+        self.spanning
     }
 
     /// `(net, pin)` pairs of a cell, one per pin.
@@ -272,31 +301,51 @@ impl<'a> EngineState<'a> {
         self.terminal_weight[side_of(old)] - self.terminal_weight[side_of(new)]
     }
 
+    /// Contribution of one net to the gain of changing `c` from `old`
+    /// to `new`, evaluated against explicit endpoint `counts`: the
+    /// net's cut state before minus after applying the pin deltas of
+    /// `c` on `net`.
+    ///
+    /// [`EngineState::peek_gain`] sums this over a cell's incident nets
+    /// against the live counts, and the incremental bucket pass
+    /// re-evaluates it against before/after count snapshots of the nets
+    /// a move touched — so delta-updated candidate gains agree with the
+    /// from-scratch gains by construction.
+    pub(crate) fn net_contribution(
+        hg: &Hypergraph,
+        c: CellId,
+        old: CellState,
+        new: CellState,
+        net: NetId,
+        counts: ([u32; 2], [u32; 2]),
+    ) -> i64 {
+        let (mut sc, mut dc) = counts;
+        let before = Self::cut_from(sc, dc);
+        for (n2, pin) in Self::cell_pins(hg, c) {
+            if n2 != net {
+                continue;
+            }
+            let oc = Self::pin_conn(hg, c, old, pin);
+            let nc = Self::pin_conn(hg, c, new, pin);
+            for side in 0..2 {
+                let delta = i64::from(nc[side]) - i64::from(oc[side]);
+                let slot = match pin {
+                    Pin::Output(_) => &mut dc[side],
+                    Pin::Input(_) => &mut sc[side],
+                };
+                *slot = (*slot as i64 + delta) as u32;
+            }
+        }
+        i64::from(before) - i64::from(Self::cut_from(sc, dc))
+    }
+
     /// The gain (objective decrease: cut plus weighted pad cost) of
     /// changing `c` to `new`, without mutating the state.
     pub fn peek_gain(&self, c: CellId, new: CellState) -> i64 {
         let old = self.state[c.index()];
         let mut gain = self.pad_cost_gain(c, old, new);
         for net in Self::incident_nets(self.hg, c) {
-            let (mut sc, mut dc) = (self.sink_cnt[net.index()], self.drv_cnt[net.index()]);
-            let before = Self::cut_from(sc, dc);
-            for (n2, pin) in Self::cell_pins(self.hg, c) {
-                if n2 != net {
-                    continue;
-                }
-                let oc = Self::pin_conn(self.hg, c, old, pin);
-                let nc = Self::pin_conn(self.hg, c, new, pin);
-                for side in 0..2 {
-                    let delta = i64::from(nc[side]) - i64::from(oc[side]);
-                    let slot = match pin {
-                        Pin::Output(_) => &mut dc[side],
-                        Pin::Input(_) => &mut sc[side],
-                    };
-                    *slot = (*slot as i64 + delta) as u32;
-                }
-            }
-            let after = Self::cut_from(sc, dc);
-            gain += i64::from(before) - i64::from(after);
+            gain += Self::net_contribution(self.hg, c, old, new, net, self.net_counts(net));
         }
         gain
     }
@@ -330,6 +379,8 @@ impl<'a> EngineState<'a> {
         self.pad_cost -= self.pad_cost_gain(c, old, new);
         for net in Self::incident_nets(self.hg, c) {
             let before = self.is_cut(net);
+            let occ = self.occ_cnt[net.index()];
+            let spanned = occ[0] > 0 && occ[1] > 0;
             for (n2, pin) in Self::cell_pins(self.hg, c) {
                 if n2 != net {
                     continue;
@@ -343,8 +394,13 @@ impl<'a> EngineState<'a> {
                         Pin::Input(_) => &mut self.sink_cnt[net.index()][side],
                     };
                     *slot = (*slot as i64 + delta) as u32;
+                    let occ_slot = &mut self.occ_cnt[net.index()][side];
+                    *occ_slot = (*occ_slot as i64 + delta) as u32;
                 }
             }
+            let occ = self.occ_cnt[net.index()];
+            let spans = occ[0] > 0 && occ[1] > 0;
+            self.spanning = (self.spanning as i64 + i64::from(spans) - i64::from(spanned)) as usize;
             let after = self.is_cut(net);
             gain += i64::from(before) - i64::from(after);
             self.cut = (self.cut as i64 + i64::from(after) - i64::from(before)) as usize;
@@ -418,6 +474,8 @@ impl<'a> EngineState<'a> {
         };
         fresh.sink_cnt == self.sink_cnt
             && fresh.drv_cnt == self.drv_cnt
+            && fresh.occ_cnt == self.occ_cnt
+            && fresh.spanning == self.spanning
             && fresh.cut == self.cut
             && fresh.areas == self.areas
             && fresh.pad_cost == self.pad_cost
@@ -538,6 +596,48 @@ mod tests {
         st.set_state(m, new);
         assert_eq!(st.cut(), 3);
         assert!(st.validate());
+    }
+
+    #[test]
+    fn occupancy_and_spanning_track_moves() {
+        let (hg, m, nets) = fig1();
+        let sides = vec![0, 0, 1, 0, 1, 1];
+        let mut st = EngineState::new(&hg, &sides);
+        // nc, nx, ny have endpoints on both sides; na, nb are local.
+        assert_eq!(st.spanning_nets(), 3);
+        assert_eq!(st.net_side_occupancy(nets[0]), [2, 0]);
+        assert_eq!(st.net_side_occupancy(nets[2]), [1, 1]);
+        st.set_state(m, CellState::Single { side: 1 });
+        // M on side 1: na, nb now span; nc, nx, ny collapse to side 1.
+        assert_eq!(st.spanning_nets(), 2);
+        assert_eq!(st.net_side_occupancy(nets[2]), [0, 2]);
+        assert!(st.validate());
+        // Replication occupies both sides of every net M touches.
+        st.set_state(m, CellState::Traditional { orig_side: 1 });
+        assert_eq!(st.spanning_nets(), 5);
+        assert!(st.validate());
+    }
+
+    #[test]
+    fn peek_gain_is_sum_of_net_contributions() {
+        let (hg, m, _) = fig1();
+        let sides = vec![0, 0, 1, 0, 1, 1];
+        let st = EngineState::new(&hg, &sides);
+        for new in [
+            CellState::Single { side: 1 },
+            CellState::Traditional { orig_side: 0 },
+            CellState::Functional {
+                orig_side: 0,
+                replica_mask: 0b10,
+            },
+        ] {
+            let old = st.cell_state(m);
+            let sum: i64 = EngineState::incident_nets(&hg, m)
+                .into_iter()
+                .map(|n| EngineState::net_contribution(&hg, m, old, new, n, st.net_counts(n)))
+                .sum();
+            assert_eq!(sum, st.peek_gain(m, new));
+        }
     }
 
     #[test]

@@ -690,11 +690,24 @@ fn kway_phase(
                             }
                         };
                         stats.starts += 1;
+                        // Like the bipartition phase: a per-task move
+                        // limit trips at a deterministic point, so
+                        // sibling tasks (which carry their own limits)
+                        // must still run for jobs-level invariance —
+                        // only the interleaving-dependent shared wall
+                        // deadline cancels them. `tick_move` checks the
+                        // move limit first, so a move-limit trip always
+                        // shows the full count.
+                        let wall_trip = deadline.is_some()
+                            && t > 0
+                            && per_task.max_moves.is_none_or(|m| clock.moves() < m);
                         match &res {
                             Ok(r) => {
                                 if r.degradation.budget_exhausted {
                                     budget_seen.store(true, Ordering::Release);
-                                    cancel.cancel();
+                                    if wall_trip {
+                                        cancel.cancel();
+                                    }
                                 }
                                 if r.degradation.fault_injected {
                                     fault_seen.store(true, Ordering::Release);
@@ -706,7 +719,9 @@ fn kway_phase(
                                     fault_seen.store(true, Ordering::Release);
                                 } else {
                                     budget_seen.store(true, Ordering::Release);
-                                    cancel.cancel();
+                                    if wall_trip {
+                                        cancel.cancel();
+                                    }
                                 }
                             }
                             Err(_) => {}

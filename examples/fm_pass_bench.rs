@@ -1,0 +1,101 @@
+//! Measures the FM selection-structure rewrite: the same seeded
+//! bipartition runs under the incremental `GainBuckets` ladder (the
+//! default) and the retained `LazyHeap` baseline, timed per strategy
+//! across a small circuit suite.
+//!
+//! ```text
+//! cargo run --release --example fm_pass_bench [reps]
+//! ```
+//!
+//! This is the source of the README "Performance" numbers; re-run it
+//! on your own hardware. Besides the table, the run is archived as
+//! `BENCH_fm.json` in the current directory — a metrics snapshot with
+//! per-size wall times for both strategies and the per-pass averages.
+//!
+//! Both strategies must finish every run with `gain_repairs == 0`
+//! (the incremental updates are exact); the example asserts it.
+
+use netpart::prelude::*;
+use netpart::report::{f2, Table};
+use std::time::Instant;
+
+const SIZES: &[usize] = &[800, 1500, 3000];
+
+fn circuit(gates: usize) -> Result<Hypergraph, Box<dyn std::error::Error>> {
+    let nl = generate(
+        &GeneratorConfig::new(gates)
+            .with_dff(gates / 10)
+            .with_seed(42),
+    );
+    Ok(map(&nl, &MapperConfig::xc3000())?.to_hypergraph(&nl))
+}
+
+fn time_strategy(
+    hg: &Hypergraph,
+    strategy: SelectionStrategy,
+    reps: usize,
+) -> (f64, usize, usize) {
+    let cfg = BipartitionConfig::equal(hg, 0.1)
+        .with_seed(1)
+        .with_replication(ReplicationMode::functional(0))
+        .with_selection(strategy);
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = netpart::core::bipartition(hg, &cfg);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            r.gain_repairs, 0,
+            "{strategy:?}: incremental gains diverged from realized deltas"
+        );
+        assert!(r.balanced, "{strategy:?}: unbalanced result");
+        best_ms = best_ms.min(ms);
+        last = Some(r);
+    }
+    let r = last.expect("reps >= 1");
+    (best_ms, r.cut, r.passes)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let reps: usize = args.next().map_or(Ok(3), |a| a.parse())?;
+
+    let mut t = Table::new(
+        "FM pass selection: heap baseline vs incremental gain buckets",
+        &[
+            "gates", "CLBs", "heap (ms)", "buckets (ms)", "speedup", "cut h/b", "passes h/b",
+        ],
+    );
+    let mut snap = MetricsSnapshot::new();
+    snap.set_meta("bench", "fm_pass_bench");
+    snap.set_meta("seed", "1");
+    snap.set_meta("reps", reps.to_string());
+
+    for &gates in SIZES {
+        let hg = circuit(gates)?;
+        let clbs = hg.stats().clbs;
+        let (heap_ms, heap_cut, heap_passes) = time_strategy(&hg, SelectionStrategy::LazyHeap, reps);
+        let (bkt_ms, bkt_cut, bkt_passes) = time_strategy(&hg, SelectionStrategy::GainBuckets, reps);
+        snap.set_timing(&format!("heap_ms_{gates}"), heap_ms as u64);
+        snap.set_timing(&format!("buckets_ms_{gates}"), bkt_ms as u64);
+        snap.set_gauge(&format!("cut_buckets_{gates}"), bkt_cut as f64);
+        snap.set_gauge(&format!("cut_heap_{gates}"), heap_cut as f64);
+        snap.set_gauge(&format!("speedup_{gates}"), heap_ms / bkt_ms);
+        t.row([
+            gates.to_string(),
+            clbs.to_string(),
+            f2(heap_ms),
+            f2(bkt_ms),
+            format!("{}x", f2(heap_ms / bkt_ms)),
+            format!("{heap_cut}/{bkt_cut}"),
+            format!("{heap_passes}/{bkt_passes}"),
+        ]);
+    }
+    println!("{t}");
+    println!("(both strategies: gain_repairs == 0 on every run)");
+
+    std::fs::write("BENCH_fm.json", snap.to_json())?;
+    println!("archived to BENCH_fm.json");
+    Ok(())
+}

@@ -62,7 +62,7 @@ pub use netpart_techmap as techmap;
 pub mod prelude {
     pub use netpart_core::{
         bipartition, kway_partition, run_many, BipartitionConfig, Budget, Degradation, FaultPlan,
-        KWayConfig, PartitionError, Relaxation, ReplicationMode, StopReason,
+        KWayConfig, PartitionError, Relaxation, ReplicationMode, SelectionStrategy, StopReason,
     };
     pub use netpart_engine::{
         portfolio_bipartition, portfolio_kway, ContentHash, Engine, KWayPortfolioResult,

@@ -148,4 +148,40 @@ proptest! {
             prop_assert_eq!(engine.cut(), before);
         }
     }
+
+    /// Across full FM passes — not just single probes — every applied
+    /// move's realized cut delta equals the gain the selection structure
+    /// predicted, in all three replication modes and for both selection
+    /// strategies. `gain_repairs` counts exactly the applications whose
+    /// realized delta diverged from the selection-time prediction, so a
+    /// clean run means the incremental bucket updates never went stale.
+    #[test]
+    fn full_passes_never_go_stale(seed in 0u64..500, side_seed in 1u64..500) {
+        let (hg, _) = mapped_with_sides(140, 10, seed, side_seed);
+        for mode in [
+            ReplicationMode::None,
+            ReplicationMode::Traditional,
+            ReplicationMode::functional(0),
+        ] {
+            for strategy in [SelectionStrategy::GainBuckets, SelectionStrategy::LazyHeap] {
+                let cfg = BipartitionConfig::equal(&hg, 0.1)
+                    .with_seed(side_seed)
+                    .with_replication(mode)
+                    .with_selection(strategy);
+                let res = bipartition(&hg, &cfg);
+                prop_assert_eq!(
+                    res.gain_repairs, 0,
+                    "{:?}/{:?}: {} applied moves diverged from predicted gain",
+                    mode, strategy, res.gain_repairs
+                );
+                prop_assert!(res.balanced, "{:?}/{:?}: unbalanced", mode, strategy);
+                if let Some(p) = &res.placement {
+                    prop_assert_eq!(
+                        p.cut_size(&hg), res.cut,
+                        "{:?}/{:?}: reported cut disagrees with placement", mode, strategy
+                    );
+                }
+            }
+        }
+    }
 }
