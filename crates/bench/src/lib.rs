@@ -1,16 +1,15 @@
-//! Experiment drivers regenerating every table and figure of the paper.
+//! Benchmark harness: Criterion benches over the paper's kernels.
 //!
-//! Each `table*`/`figure3` function reproduces one exhibit of the
-//! evaluation section as a [`netpart_report::Table`]; the `tables` binary
-//! renders them to the terminal and to `results/*.csv`. The Criterion
-//! benches under `benches/` measure the runtime of the same kernels.
+//! The experiment drivers (Tables I–VII, Figure 3) live in
+//! [`netpart::experiments`] inside the hermetic root package — that is
+//! what the `tables` binary and the golden-snapshot tests build offline.
+//! This crate re-exports them so existing bench code keeps its imports,
+//! and adds the registry-dependent Criterion benches under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod experiments;
-
-pub use experiments::{
+pub use netpart::experiments::{
     figure3, kway_experiment, suite, table1, table2, table3, table3_record, tables_4_to_7,
-    try_suite, ExperimentError, KWayRecord, Table3Record,
+    try_suite, ExperimentError, KWayRecord, Table3Record, Timing,
 };

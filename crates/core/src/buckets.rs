@@ -347,6 +347,102 @@ mod tests {
     }
 
     #[test]
+    fn gains_exactly_at_pmax_stay_in_range() {
+        // ±p_max are the *inclusive* bounds of the bucket array: entries
+        // there must land in buckets (LIFO ties), not in the overflow
+        // side list (lowest-id ties) — the two regimes order equal keys
+        // differently, so a off-by-one here silently changes selection.
+        let mut b = GainBuckets::new(6, 3);
+        b.insert(0, 3, 2); // exactly +p_max
+        b.insert(1, 3, 2);
+        b.insert(2, -3, 1); // exactly -p_max
+        b.insert(3, -3, 1);
+        assert!(b.overflow.is_empty(), "boundary gains must not overflow");
+        // LIFO within each boundary bucket proves bucket residency.
+        assert_eq!(b.pop(), Some((1, 3, 2)));
+        assert_eq!(b.pop(), Some((0, 3, 2)));
+        assert_eq!(b.pop(), Some((3, -3, 1)));
+        assert_eq!(b.pop(), Some((2, -3, 1)));
+        // One past either bound overflows.
+        b.insert(4, 4, 2);
+        b.insert(5, -4, 2);
+        assert_eq!(b.overflow.len(), 2);
+    }
+
+    #[test]
+    fn overflow_side_list_stays_sorted_under_arbitrary_insertion_order() {
+        // The side list is kept ascending by (gain, tie, !cell) so the
+        // maximum is always `last()`. Insert in a deliberately adversarial
+        // order and check the full invariant, then the pop order.
+        let mut b = GainBuckets::new(8, 1);
+        b.insert(5, 7, 1);
+        b.insert(0, -9, 3);
+        b.insert(3, 7, 1); // exact (gain, tie) duplicate, lower id
+        b.insert(1, 7, 2);
+        b.insert(4, -9, 3); // exact duplicate of cell 0's key, higher id
+        b.insert(2, 12, 1);
+        assert!(
+            b.overflow
+                .windows(2)
+                .all(|w| GainBuckets::overflow_key(w[0]) < GainBuckets::overflow_key(w[1])),
+            "overflow list out of order: {:?}",
+            b.overflow
+        );
+        // Max gain first; exact (gain, tie) ties by lowest cell id.
+        assert_eq!(b.pop(), Some((2, 12, 1)));
+        assert_eq!(b.pop(), Some((1, 7, 2)));
+        assert_eq!(b.pop(), Some((3, 7, 1)));
+        assert_eq!(b.pop(), Some((5, 7, 1)));
+        assert_eq!(b.pop(), Some((0, -9, 3)));
+        assert_eq!(b.pop(), Some((4, -9, 3)));
+        assert_eq!(b.pop(), None);
+    }
+
+    #[test]
+    fn max_slot_pointer_decays_after_last_cell_in_slot_unlinks() {
+        let mut b = GainBuckets::new(6, 4);
+        b.insert(0, 4, 3); // the top slot
+        b.insert(1, 4, 3);
+        b.insert(2, -1, 2);
+        let top = b.max_slot;
+        // Removing one of two cells keeps the slot non-empty: the pointer
+        // must not move, and no scan happens on the next pop.
+        assert!(b.remove(1));
+        assert_eq!(b.max_slot, top);
+        let scans0 = b.scans();
+        assert_eq!(b.pop(), Some((0, 4, 3)));
+        assert_eq!(b.scans(), scans0, "non-empty top slot must pop scan-free");
+        // The top slot is now empty but the pointer is lazy: it still
+        // points at `top` and only decays when the next pop walks down.
+        assert_eq!(b.max_slot, top);
+        assert_eq!(b.pop(), Some((2, -1, 2)));
+        assert!(b.max_slot < top, "pointer must decay past the emptied slot");
+        assert!(b.scans() > scans0, "the walk down must be counted");
+        // A fresh insert above the decayed pointer raises it again.
+        b.insert(3, 2, 1);
+        assert_eq!(b.pop(), Some((3, 2, 1)));
+    }
+
+    #[test]
+    fn reinsertion_after_pop_rebuilds_a_consistent_structure() {
+        // Pop-then-update cycles are the pass loop's hot path; a stale
+        // link after remove would corrupt the intrusive list.
+        let mut b = GainBuckets::new(3, 2);
+        for round in 0..3i64 {
+            b.update(0, round - 1, 1);
+            b.update(1, round - 1, 1);
+            b.update(2, 2 - round, 2);
+            let mut popped = Vec::new();
+            while let Some((c, _, _)) = b.pop() {
+                popped.push(c);
+            }
+            popped.sort_unstable();
+            assert_eq!(popped, [0, 1, 2], "round {round} lost a cell");
+            assert!(b.is_empty());
+        }
+    }
+
+    #[test]
     fn zero_pmax_still_works_via_overflow() {
         let mut b = GainBuckets::new(3, 0);
         b.insert(0, 0, 2);

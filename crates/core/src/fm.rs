@@ -53,6 +53,24 @@ pub struct BipartitionResult {
     pub gain_repairs: usize,
 }
 
+impl BipartitionResult {
+    /// Serializes this result as an independently checkable
+    /// [`SolutionCertificate`](netpart_verify::SolutionCertificate),
+    /// stamped with the seed of the run that produced it.
+    ///
+    /// Returns `None` when the run exported no placement
+    /// ([`ReplicationMode::Traditional`] with replicas present).
+    pub fn certificate(
+        &self,
+        hg: &Hypergraph,
+        seed: u64,
+    ) -> Option<netpart_verify::SolutionCertificate> {
+        self.placement
+            .as_ref()
+            .map(|p| netpart_verify::SolutionCertificate::from_bipartition(hg, p, seed))
+    }
+}
+
 /// Move priority on gain ties: prefer shrinking work (unreplication),
 /// then plain moves, then replication (which grows the design).
 const TIE_UNREPLICATE: u8 = 3;
@@ -63,17 +81,20 @@ const TIE_REPLICATE: u8 = 1;
 struct HeapEntry {
     gain: i64,
     tie: u8,
+    /// Third-order key replicating the bucket ladder's ordering
+    /// contract so both strategies elect identical move sequences:
+    /// an insertion sequence number for in-range gains (LIFO — higher
+    /// is more recent and wins) and `!cell` for overflow gains (lowest
+    /// cell id wins). The two regimes never meet at an equal
+    /// `(gain, tie)` key, so the combined order is total.
+    ord: u64,
     cell: u32,
     stamp: u64,
 }
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.gain, self.tie, std::cmp::Reverse(self.cell)).cmp(&(
-            other.gain,
-            other.tie,
-            std::cmp::Reverse(other.cell),
-        ))
+        (self.gain, self.tie, self.ord).cmp(&(other.gain, other.tie, other.ord))
     }
 }
 
@@ -90,10 +111,26 @@ fn best_candidate(
     psi: &[u32],
     c: CellId,
 ) -> Option<(i64, u8, CellState)> {
+    best_candidate_where(engine, cfg, psi, c, |_| true)
+}
+
+/// The best move of `c` among candidates satisfying `keep`, enumerated
+/// in the same order as [`push_candidates`] (earliest wins exact
+/// `(gain, tie)` ties, matching [`best_of`]).
+fn best_candidate_where(
+    engine: &EngineState<'_>,
+    cfg: &BipartitionConfig,
+    psi: &[u32],
+    c: CellId,
+    keep: impl Fn(CellState) -> bool,
+) -> Option<(i64, u8, CellState)> {
     let cur = engine.cell_state(c);
     let cell = engine.hypergraph().cell(c);
     let mut best: Option<(i64, u8, CellState)> = None;
     let consider = |gain: i64, tie: u8, st: CellState, best: &mut Option<(i64, u8, CellState)>| {
+        if !keep(st) {
+            return;
+        }
         if best.as_ref().is_none_or(|(g, t, _)| (gain, tie) > (*g, *t)) {
             *best = Some((gain, tie, st));
         }
@@ -481,10 +518,22 @@ fn run_pass_buckets(
     }
 }
 
-/// One FM pass over a lazy max-heap: every touched neighbor's best move
-/// is re-derived from scratch after each applied move, and superseded
-/// heap entries are skipped by stamp on pop. Kept as the benchmark
-/// baseline for [`run_pass_buckets`].
+/// One FM pass over a lazy max-heap: the differential baseline for
+/// [`run_pass_buckets`].
+///
+/// Selection *policy* is identical to the bucket pass — same candidate
+/// enumeration, same `(gain, tie)` keys, same LIFO / lowest-cell-id
+/// ordering (see [`HeapEntry::ord`]), same re-key-to-legal-best rule at
+/// selection time, same deferred-retry protocol — so for a fixed seed
+/// both strategies elect the same move sequence and produce
+/// certificate-identical solutions (enforced by `tests/differential.rs`).
+///
+/// The *mechanism* is deliberately different: priorities live in a lazy
+/// `BinaryHeap` with stamp-invalidated entries, and every touched
+/// neighbor's key is re-derived from scratch via
+/// [`EngineState::peek_gain`] instead of the bucket pass's incremental
+/// delta maintenance. Any inexactness in the incremental updates
+/// surfaces as a certificate divergence between the two.
 fn run_pass_heap(
     engine: &mut EngineState<'_>,
     cfg: &BipartitionConfig,
@@ -494,30 +543,69 @@ fn run_pass_heap(
     let hg = engine.hypergraph();
     let total0 = hg.total_area();
     let n = hg.n_cells();
-    let mut locked = vec![false; n];
-    let mut stamps = vec![0u64; n];
-    let mut proposed: Vec<Option<CellState>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-
-    let push = |engine: &EngineState<'_>,
-                heap: &mut BinaryHeap<HeapEntry>,
-                stamps: &mut [u64],
-                proposed: &mut [Option<CellState>],
-                c: CellId| {
-        if let Some((gain, tie, st)) = best_candidate(engine, cfg, psi, c) {
-            stamps[c.index()] += 1;
-            proposed[c.index()] = Some(st);
-            heap.push(HeapEntry {
-                gain,
-                tie,
-                cell: c.0,
-                stamp: stamps[c.index()],
-            });
+    // Same in-range bound as the bucket ladder: inside it, equal keys
+    // order LIFO by insertion sequence; outside, by lowest cell id.
+    let p_max = hg
+        .cell_ids()
+        .map(|c| EngineState::incident_nets(hg, c).len())
+        .max()
+        .unwrap_or(0) as i64;
+    let ord_of = |gain: i64, cell: u32, seq: u64| -> u64 {
+        if (-p_max..=p_max).contains(&gain) {
+            seq
+        } else {
+            u64::from(!cell)
         }
     };
 
+    let mut locked = vec![false; n];
+    let mut stamps = vec![0u64; n];
+    // Key of each cell's live entry; `present` gates the same-key no-op
+    // (which preserves the LIFO position, exactly like the ladder's
+    // `update` with an unchanged key).
+    let mut key: Vec<(i64, u8)> = vec![(0, 0); n];
+    let mut present = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let mut push_entry = |heap: &mut BinaryHeap<HeapEntry>,
+                          stamps: &mut [u64],
+                          key: &mut [(i64, u8)],
+                          present: &mut [bool],
+                          c: CellId,
+                          g: i64,
+                          t: u8| {
+        stamps[c.index()] += 1;
+        seq += 1;
+        key[c.index()] = (g, t);
+        present[c.index()] = true;
+        heap.push(HeapEntry {
+            gain: g,
+            tie: t,
+            ord: ord_of(g, c.0, seq),
+            cell: c.0,
+            stamp: stamps[c.index()],
+        });
+    };
+    // (Re)keys `c` by its best candidate ignoring legality — the
+    // ladder's `update(best_of(..))` — keeping the live entry when the
+    // key is unchanged.
+    macro_rules! push_best {
+        ($c:expr) => {{
+            let c: CellId = $c;
+            if let Some((g, t, _)) = best_candidate(engine, cfg, psi, c) {
+                if !(present[c.index()] && key[c.index()] == (g, t)) {
+                    push_entry(&mut heap, &mut stamps, &mut key, &mut present, c, g, t);
+                }
+            } else if present[c.index()] {
+                present[c.index()] = false;
+                stamps[c.index()] += 1;
+            }
+        }};
+    }
+
     for c in hg.cell_ids() {
-        push(engine, &mut heap, &mut stamps, &mut proposed, c);
+        push_best!(c);
     }
 
     let mut log: Vec<(CellId, CellState)> = Vec::new();
@@ -530,6 +618,12 @@ fn run_pass_heap(
     let mut repairs = 0u64;
     let mut retried = 0u64;
 
+    // Reused per-move scratch, mirroring the bucket pass.
+    let mut before: Vec<([u32; 2], [u32; 2])> = Vec::new();
+    let mut in_touched = vec![false; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut seen: Vec<CellId> = Vec::new();
+
     loop {
         let Some(e) = heap.pop() else {
             // Drained: give deferred cells one retry (see the bucket
@@ -539,39 +633,58 @@ fn run_pass_heap(
                 retried += deferred.len() as u64;
                 for c in std::mem::take(&mut deferred) {
                     if !locked[c.index()] {
-                        push(engine, &mut heap, &mut stamps, &mut proposed, c);
+                        push_best!(c);
                     }
                 }
                 continue;
             }
             break;
         };
-        selects += 1;
         let c = CellId(e.cell);
         if locked[c.index()] || e.stamp != stamps[c.index()] {
+            // Superseded entry: the heap's analogue of a bucket-walk
+            // scan.
             scans += 1;
             continue;
         }
-        let Some(new) = proposed[c.index()] else {
-            scans += 1;
+        selects += 1;
+        // Select the best candidate still legal at the current areas,
+        // re-deriving every gain from scratch; re-key and revisit when
+        // it differs from the popped key (the ladder's exact rule).
+        let pick =
+            best_candidate_where(engine, cfg, psi, c, |st| legal(engine, cfg, total0, c, st));
+        let Some((bg, bt, new)) = pick else {
+            // No legal candidate at the current areas; retry once they
+            // change (or at the end-of-pass drain retry).
+            present[c.index()] = false;
+            stamps[c.index()] += 1;
+            deferred.push(c);
             continue;
         };
-        if !legal(engine, cfg, total0, c, new) {
-            // Area limits are global state; retry once they change.
-            deferred.push(c);
+        if (bg, bt) != (e.gain, e.tie) {
+            push_entry(&mut heap, &mut stamps, &mut key, &mut present, c, bg, bt);
             continue;
         }
         let prev = engine.cell_state(c);
-        if apply_exact(engine, c, new, e.gain).is_err() {
-            // Stale cached gain: refresh the cell and reselect instead
-            // of applying the move under a wrong priority.
+        let nets = EngineState::incident_nets(hg, c);
+        before.clear();
+        before.extend(nets.iter().map(|&nt| engine.net_counts(nt)));
+        if apply_exact(engine, c, new, bg).is_err() {
+            // Stale gain (unreachable while peek_gain is exact):
+            // refresh the cell and reselect instead of applying the
+            // move under a wrong priority.
             repairs += 1;
-            push(engine, &mut heap, &mut stamps, &mut proposed, c);
+            if let Some((g, t, _)) = best_candidate(engine, cfg, psi, c) {
+                push_entry(&mut heap, &mut stamps, &mut key, &mut present, c, g, t);
+            } else {
+                present[c.index()] = false;
+                stamps[c.index()] += 1;
+            }
             continue;
         }
         locked[c.index()] = true;
         log.push((c, prev));
-        cum += e.gain;
+        cum += bg;
         if cfg.balanced(engine.areas()) && best.is_none_or(|(b, _)| cum > b) {
             best = Some((cum, log.len()));
         }
@@ -581,22 +694,38 @@ fn run_pass_heap(
         if clock.tick_move().is_some() {
             break;
         }
-        // Refresh every unlocked cell whose incident nets changed, plus
-        // anything deferred on area limits.
-        let mut touched: Vec<CellId> = Vec::new();
-        for net in EngineState::incident_nets(hg, c) {
-            for ep in hg.net(net).endpoints() {
-                touched.push(ep.cell);
+        // Re-key every unlocked cell on a net whose endpoint counts
+        // changed, plus anything deferred on area limits — collected in
+        // the same first-seen order as the bucket pass so both
+        // strategies reposition equal-key cells identically.
+        touched.clear();
+        for (i, &nt) in nets.iter().enumerate() {
+            if engine.net_counts(nt) == before[i] {
+                continue;
+            }
+            seen.clear();
+            for ep in hg.net(nt).endpoints() {
+                let t = ep.cell;
+                if t == c || locked[t.index()] || seen.contains(&t) {
+                    continue;
+                }
+                seen.push(t);
+                if !in_touched[t.index()] {
+                    in_touched[t.index()] = true;
+                    touched.push(t.0);
+                }
             }
         }
-        touched.append(&mut deferred);
-        touched.sort_unstable();
-        touched.dedup();
-        drained_retry = false;
-        for t in touched {
-            if !locked[t.index()] {
-                push(engine, &mut heap, &mut stamps, &mut proposed, t);
+        for d in deferred.drain(..) {
+            if !locked[d.index()] && !in_touched[d.index()] {
+                in_touched[d.index()] = true;
+                touched.push(d.0);
             }
+        }
+        drained_retry = false;
+        for &t in &touched {
+            in_touched[t as usize] = false;
+            push_best!(CellId(t));
         }
     }
 
@@ -1001,10 +1130,12 @@ mod tests {
 
     #[test]
     fn strategies_agree_on_quality_and_never_repair() {
-        // Selection order (LIFO buckets vs stamped heap) legitimately
-        // differs, so exact cuts may too; what must hold for both is
-        // balance, internal consistency and zero stale-gain repairs
-        // across all replication modes on a real mapped circuit.
+        // The heap baseline replicates the bucket ladder's selection
+        // policy exactly (ordering, legality re-keying, deferral), so
+        // both strategies must elect identical solutions — not merely
+        // comparable ones — with zero stale-gain repairs across all
+        // replication modes on a real mapped circuit. The full
+        // certificate-level equivalence runs in tests/differential.rs.
         let hg = mapped(350, 25, 6);
         for mode in [
             ReplicationMode::None,
@@ -1026,6 +1157,16 @@ mod tests {
                     assert_eq!(p.cut_size(&hg), r.cut, "{label} cut mismatch");
                 }
             }
+            assert_eq!(buckets.cut, heap.cut, "strategies diverged under {mode:?}");
+            assert_eq!(buckets.areas, heap.areas, "areas diverged under {mode:?}");
+            assert_eq!(
+                buckets.replicated_cells, heap.replicated_cells,
+                "replication diverged under {mode:?}"
+            );
+            assert_eq!(
+                buckets.placement, heap.placement,
+                "placements diverged under {mode:?}"
+            );
         }
     }
 

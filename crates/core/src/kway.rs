@@ -199,6 +199,45 @@ pub struct KWayResult {
     pub degradation: Degradation,
 }
 
+impl KWayResult {
+    /// The library this result was actually evaluated against: `base`
+    /// itself, or its floor-relaxed variant when the escalation ladder
+    /// recorded a [`Relaxation::RelaxedFloor`].
+    pub fn effective_library(&self, base: &DeviceLibrary) -> DeviceLibrary {
+        if self
+            .degradation
+            .relaxations
+            .contains(&Relaxation::RelaxedFloor)
+        {
+            base.relaxed_floor()
+        } else {
+            base.clone()
+        }
+    }
+
+    /// Serializes this result as an independently checkable
+    /// [`SolutionCertificate`](netpart_verify::SolutionCertificate).
+    ///
+    /// `library` is the *base* configuration library; the certificate
+    /// embeds [`effective_library`](Self::effective_library) so the
+    /// verifier judges feasibility against the same window the run did.
+    pub fn certificate(
+        &self,
+        hg: &Hypergraph,
+        library: &DeviceLibrary,
+        seed: u64,
+    ) -> netpart_verify::SolutionCertificate {
+        netpart_verify::SolutionCertificate::from_kway(
+            hg,
+            &self.placement,
+            &self.effective_library(library),
+            &self.devices,
+            &self.evaluation,
+            seed,
+        )
+    }
+}
+
 /// Records the cells of part `which` (of a placement of `piece`) into
 /// the global assignment list under top-level part id `part`.
 fn record_part(
@@ -777,14 +816,32 @@ pub fn kway_partition_with_clock(
                 .field("degraded", degradation.is_degraded()),
         );
     }
-    Ok(KWayResult {
+    let result = KWayResult {
         placement: b.placement,
         devices: b.devices,
         evaluation: b.evaluation,
         attempts,
         feasible_found: feasible,
         degradation,
-    })
+    };
+    // Debug builds re-derive every claim through the independent
+    // verifier before handing the result out; a violation here means
+    // the incremental bookkeeping and the from-scratch re-evaluation
+    // disagree, which is always a bug.
+    if cfg!(debug_assertions) {
+        let cert = result.certificate(hg, &cfg.library, cfg.seed);
+        let report = netpart_verify::verify(hg, &cert);
+        if recorder.enabled(Level::Debug) {
+            recorder.record(
+                &Event::new("verify", "report", Level::Debug)
+                    .field("violations", report.violations().len() as u64)
+                    .field("clean", report.is_clean())
+                    .field("cut", report.recomputed().cut),
+            );
+        }
+        debug_assert!(report.is_clean(), "post-run certificate self-check: {report}");
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! * **unreplication cleanup**: a replicated pair whose merge no longer
 //!   costs interconnect is collapsed, recovering CLB area.
 //!
-//! This is the "multi-way refinement" extension listed in DESIGN.md §11.
+//! This is the "multi-way refinement" extension listed in DESIGN.md §12.
 
 use netpart_fpga::DeviceLibrary;
 use netpart_hypergraph::{CellId, Hypergraph, NetId, PartId, Placement};

@@ -56,6 +56,18 @@ impl MultiRunStats {
             .sum::<f64>()
             / balanced.len() as f64
     }
+
+    /// Serializes the best run as an independently checkable
+    /// certificate, stamped with its derived seed (`base.seed +
+    /// best_index`). `None` when the winner exported no placement.
+    pub fn certificate(
+        &self,
+        hg: &Hypergraph,
+        base: &BipartitionConfig,
+    ) -> Option<netpart_verify::SolutionCertificate> {
+        self.best()
+            .certificate(hg, base.seed.wrapping_add(self.best_index as u64))
+    }
 }
 
 /// Runs the `index`-th start of a multi-start portfolio as one

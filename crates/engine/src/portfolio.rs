@@ -139,6 +139,18 @@ impl PortfolioResult {
         self.best().cut
     }
 
+    /// Serializes the incumbent (winning start) as an independently
+    /// checkable certificate, stamped with the winning start's derived
+    /// seed. `None` when the winner exported no placement.
+    pub fn certificate(
+        &self,
+        hg: &Hypergraph,
+        cfg: &BipartitionConfig,
+    ) -> Option<netpart_verify::SolutionCertificate> {
+        self.best()
+            .certificate(hg, cfg.seed.wrapping_add(self.best_start() as u64))
+    }
+
     /// The mean cut over recorded balanced runs.
     pub fn avg_cut(&self) -> f64 {
         let balanced: Vec<_> = self.results.iter().filter(|s| s.result.balanced).collect();
@@ -574,6 +586,25 @@ pub struct KWayPortfolioResult {
     pub workers: Vec<WorkerStats>,
     /// Total portfolio wall time.
     pub wall: Duration,
+}
+
+impl KWayPortfolioResult {
+    /// Serializes the winning task's result as an independently
+    /// checkable certificate. `cfg` is the base configuration handed to
+    /// [`portfolio_kway`]; the certificate is stamped with the winning
+    /// task's derived seed and embeds the library the winner was
+    /// actually judged against (floor-relaxed if escalation relaxed it).
+    pub fn certificate(
+        &self,
+        hg: &Hypergraph,
+        cfg: &KWayConfig,
+    ) -> netpart_verify::SolutionCertificate {
+        self.result.certificate(
+            hg,
+            &cfg.library,
+            cfg.seed.wrapping_add(self.winner as u64),
+        )
+    }
 }
 
 /// The task-local configuration of k-way portfolio task `t` of `tasks`:

@@ -108,7 +108,7 @@ impl Error for PlacementError {}
 /// [`cut_size`]: Self::cut_size
 /// [`part_terminals`]: Self::part_terminals
 /// [`part_area`]: Self::part_area
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Placement {
     n_parts: usize,

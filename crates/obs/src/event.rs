@@ -153,7 +153,8 @@ pub enum Kind {
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct Event {
     /// Subsystem that emitted the event (`"fm"`, `"kway"`,
-    /// `"portfolio"`, `"engine"`, `"paper"`, or [`TIMING_SCOPE`]).
+    /// `"portfolio"`, `"engine"`, `"paper"`, `"verify"`, or
+    /// [`TIMING_SCOPE`]).
     pub scope: &'static str,
     /// Event name within the scope (dotted lowercase, e.g.
     /// `"carve.no_fit"`).

@@ -220,6 +220,19 @@ pub fn metrics_table(title: impl Into<String>, snap: &netpart_obs::MetricsSnapsh
     t
 }
 
+/// Renders certificate-verification findings as a [`Table`] — one
+/// `Code | Detail` row per violation, in detection order. The report
+/// crate stays decoupled from the verifier (same pattern as
+/// [`worker_table`]): callers pass each violation's stable code and
+/// rendered detail as plain strings.
+pub fn violation_table(title: impl Into<String>, rows: &[(String, String)]) -> Table {
+    let mut t = Table::new(title, &["Code", "Detail"]);
+    for (code, detail) in rows {
+        t.row([code.clone(), detail.clone()]);
+    }
+    t
+}
+
 /// Formats a float with one decimal.
 pub fn f1(x: f64) -> String {
     format!("{x:.1}")
@@ -389,6 +402,19 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[3].len(), lines[4].len(), "misaligned:\n{s}");
         assert!(lines[4].ends_with(&format!("{} ", u64::MAX)));
+    }
+
+    #[test]
+    fn violation_table_rows_in_order() {
+        let rows = vec![
+            ("cut-net-not-cut".to_string(), "net n7 …".to_string()),
+            ("cost-mismatch".to_string(), "claimed 100 …".to_string()),
+        ];
+        let t = violation_table("Violations", &rows);
+        assert_eq!(t.n_rows(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1), Some("cut-net-not-cut,net n7 …"));
+        assert_eq!(csv.lines().nth(2), Some("cost-mismatch,claimed 100 …"));
     }
 
     #[test]

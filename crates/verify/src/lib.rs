@@ -1,0 +1,53 @@
+//! `netpart-verify` — an independent solution-certificate verifier.
+//!
+//! The optimizer's claims (cut size, replication legality, device
+//! feasibility, the paper's `$_k` and `k̄` objectives) are only as
+//! trustworthy as the incremental bookkeeping that produced them. This
+//! crate is the oracle on the other side of that trust boundary: it
+//! takes a circuit plus a serialized [`SolutionCertificate`] and
+//! re-derives every claim from scratch — §II adjacency-vector
+//! connectivity, cut nets, per-part CLB counts and terminal usage
+//! `t_Pj`, the `l_i·c_i ≤ clbs ≤ u_i·c_i ∧ t_Pj ≤ t_i` feasibility
+//! window, eq. 1 cost and eq. 2 interconnect — reporting every
+//! discrepancy as a typed [`Violation`].
+//!
+//! # Independence contract
+//!
+//! This crate never depends on `netpart-core`: the FM engine's gain and
+//! occupancy bookkeeping cannot leak into the checks, enforced by the
+//! crate dependency direction (core depends on *this* crate to emit
+//! certificates). The verifier also avoids the [`Placement`] evaluators
+//! of the hypergraph crate — connectivity, cut, area and terminal
+//! accounting are re-implemented here — so a clean verification
+//! cross-checks those too.
+//!
+//! [`Placement`]: netpart_hypergraph::Placement
+//!
+//! # Examples
+//!
+//! ```
+//! use netpart_verify::{gen, verify, SolutionCertificate};
+//! use netpart_hypergraph::{PartId, Placement};
+//!
+//! let hg = gen::mapped(120, 8, 7);
+//! let placement = Placement::new_uniform(&hg, 2, PartId(0));
+//! let cert = SolutionCertificate::from_bipartition(&hg, &placement, 7);
+//!
+//! // The certificate round-trips through its text form and passes.
+//! let back = SolutionCertificate::parse(&cert.to_text()).unwrap();
+//! let report = verify(&hg, &back);
+//! assert!(report.is_clean(), "{report}");
+//! assert_eq!(report.recomputed().cut, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod certificate;
+mod check;
+pub mod gen;
+
+pub use certificate::{
+    circuit_digest, CellCopySpec, CertKind, Claims, DeviceSpec, ParseError, SolutionCertificate,
+};
+pub use check::{verify, Recomputed, VerifyReport, Violation};

@@ -1,0 +1,61 @@
+//! Certificate round trip: partition a circuit k-way, export a
+//! [`SolutionCertificate`], serialize it through the line protocol, and
+//! have the independent verifier re-derive every claim from scratch.
+//!
+//! Run with `cargo run --release --example verify_roundtrip`.
+//!
+//! The point of the exercise: the verifier (crates/verify) shares no
+//! gain, cut or occupancy code with the optimizer, so a clean report is
+//! independent evidence that the engine's incremental bookkeeping and
+//! the data-model evaluators agree with first principles.
+
+use netpart::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic circuit, mapped to XC3000 CLBs.
+    let nl = generate(
+        &GeneratorConfig::new(900)
+            .with_dff(60)
+            .with_clustering(0.7)
+            .with_seed(7),
+    );
+    let mapped = map(&nl, &MapperConfig::xc3000())?;
+    let hg = mapped.to_hypergraph(&nl);
+
+    // 2. Cost-driven k-way partitioning with functional replication.
+    let cfg = KWayConfig::new(DeviceLibrary::xc3000())
+        .with_candidates(3)
+        .with_seed(7)
+        .with_replication(ReplicationMode::functional(1));
+    let res = kway_partition(&hg, &cfg)?;
+    println!(
+        "k = {}, $_k = {}, k̄ = {:.4}",
+        res.placement.n_parts(),
+        res.evaluation.total_cost,
+        res.evaluation.avg_iob_util
+    );
+
+    // 3. Export the solution as a certificate and push it through the
+    //    text protocol, exactly as `--certify-out` would.
+    let cert = res.certificate(&hg, &cfg.library, cfg.seed);
+    let text = cert.to_text();
+    println!("certificate: {} lines", text.lines().count());
+    let parsed = SolutionCertificate::parse(&text)?;
+
+    // 4. Independent re-verification.
+    let report = verify(&hg, &parsed);
+    println!("{report}");
+    if !report.is_clean() {
+        return Err("verifier rejected an honest certificate".into());
+    }
+
+    // 5. Tamper with one claim; the verifier must notice.
+    let mut forged = parsed;
+    forged.claims.total_cost = forged.claims.total_cost.map(|c| c.saturating_sub(1));
+    let report = verify(&hg, &forged);
+    println!("after understating $_k by 1: {report}");
+    if report.is_clean() {
+        return Err("verifier accepted a forged cost claim".into());
+    }
+    Ok(())
+}

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Strip the scheduling-dependent parts of a netpart JSONL run trace,
 # leaving the deterministic skeleton: for a fixed seed the output is
 # byte-identical at every --jobs level.
@@ -10,5 +10,16 @@
 #      per-worker summaries — pure scheduling timeline);
 #   2. on every other line, remove the trailing "timing" sub-object
 #      (wall-clock measurements ride last on the line by construction).
-set -eu
-awk '!/"scope":"timing"/ { sub(/,"timing":\{.*\}\}$/, "}"); print }' "${1:?usage: strip_timing.sh trace.jsonl}"
+#
+# Portability: POSIX awk only — no sed, whose -i/-E flags differ between
+# BSD (macOS) and GNU; awk's sub() with a POSIX ERE behaves the same on
+# both. bash (via env, not a hardcoded path) is required for pipefail so
+# a failing awk is not masked when this script feeds a pipeline.
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: $0 trace.jsonl > trace.stripped.jsonl" >&2
+  exit 2
+fi
+
+awk '!/"scope":"timing"/ { sub(/,"timing":\{.*\}\}$/, "}"); print }' "$1"

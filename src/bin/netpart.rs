@@ -5,11 +5,12 @@
 //! netpart stats       <file.blif>
 //! netpart bipartition <file.blif> [--replication none|traditional|functional]
 //!                     [--threshold T] [--runs N] [--epsilon E] [--seed S]
-//!                     [--budget-ms MS] [--jobs N] [--cache]
+//!                     [--budget-ms MS] [--jobs N] [--cache] [--certify-out C.cert]
 //! netpart kway        <file.blif> [--replication none|functional] [--threshold T]
 //!                     [--candidates N] [--max-attempts N] [--seed S] [--refine]
 //!                     [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N]
-//!                     [--cache]
+//!                     [--cache] [--certify-out C.cert]
+//! netpart verify      <file.cert> [--netlist file.blif]
 //! ```
 //!
 //! `--jobs N` fans the multi-start portfolio across `N` worker threads
@@ -40,6 +41,17 @@
 //! Generated circuits can be exported for experimentation with
 //! `netpart synth <gates> [out.blif]`.
 //!
+//! # Certificates
+//!
+//! `--certify-out <path>` serializes the winning solution as a
+//! [`SolutionCertificate`] — a self-contained claim file that
+//! `netpart verify` re-checks from scratch with the independent
+//! `netpart-verify` oracle (no code shared with the optimizer's
+//! incremental bookkeeping). `verify` re-reads the netlist from
+//! `--netlist` or, absent that, from the `source` path recorded in the
+//! certificate, re-derives every claim, and exits `6` on any violation
+//! (including malformed certificate files).
+//!
 //! # Exit codes
 //!
 //! * `0` — success, including *degraded* results (budget ran out or the
@@ -54,12 +66,14 @@
 //!   ([`PartitionError::BudgetExhausted`]).
 //! * `5` — internal invariant violation, i.e. a bug
 //!   ([`PartitionError::InternalInvariant`]).
+//! * `6` — certificate violation: `netpart verify` rejected the
+//!   certificate (or could not parse it).
 
 use netpart::core::{refine_kway, unreplicate_cleanup};
 use netpart::engine::WorkerStats;
 use netpart::obs::StderrRecorder;
 use netpart::prelude::*;
-use netpart::report::{metrics_table, worker_table, WorkerRow};
+use netpart::report::{metrics_table, violation_table, worker_table, WorkerRow};
 use std::error::Error;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -67,7 +81,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
     );
     std::process::exit(2)
 }
@@ -90,6 +104,8 @@ struct Flags {
     verbose: u8,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    certify_out: Option<String>,
+    netlist: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -111,6 +127,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         verbose: 0,
         trace_out: None,
         metrics_out: None,
+        certify_out: None,
+        netlist: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -134,6 +152,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "-vv" => f.verbose += 2,
             "--trace-out" => f.trace_out = Some(val()?.clone()),
             "--metrics-out" => f.metrics_out = Some(val()?.clone()),
+            "--certify-out" => f.certify_out = Some(val()?.clone()),
+            "--netlist" => f.netlist = Some(val()?.clone()),
             "--refine" => f.refine = true,
             "--assign" => f.assign = Some(val()?.clone()),
             _ => return Err(format!("unknown flag {a}").into()),
@@ -229,6 +249,36 @@ impl Obs {
         }
         Ok(())
     }
+}
+
+/// Exit code for a rejected (or unparseable) certificate.
+const EXIT_CERTIFICATE_VIOLATION: i32 = 6;
+
+/// A certificate `netpart verify` could not parse or refused to accept;
+/// mapped to [`EXIT_CERTIFICATE_VIOLATION`] in `main`.
+#[derive(Debug)]
+struct CertificateViolation(String);
+
+impl std::fmt::Display for CertificateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CertificateViolation {}
+
+/// Serializes a solution certificate next to the run that produced it.
+/// `cert` is `None` when the winning run exported no placement (plain
+/// FM without an exported placement has nothing to certify).
+fn write_certificate(
+    cert: Option<SolutionCertificate>,
+    out: &str,
+    source: &str,
+) -> Result<(), Box<dyn Error>> {
+    let cert = cert.ok_or("nothing to certify: the winning run exported no placement")?;
+    std::fs::write(out, cert.with_source(source).to_text())?;
+    println!("certificate written to {out}");
+    Ok(())
 }
 
 fn budget_of(f: &Flags) -> Budget {
@@ -356,6 +406,9 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         );
         note_workers(&stats.workers);
         note_cache(&engine);
+        if let Some(out) = &f.certify_out {
+            write_certificate(stats.certificate(&hg, &cfg), out, path)?;
+        }
         obs.finish(f, "bipartition", path, &[("runs", runs.to_string())])?;
         return Ok(());
     }
@@ -373,6 +426,9 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         "best run: areas {:?}, {} passes, balanced: {}, stop: {}",
         best.areas, best.passes, best.balanced, best.stop
     );
+    if let Some(out) = &f.certify_out {
+        write_certificate(stats.certificate(&hg, &cfg), out, path)?;
+    }
     Ok(())
 }
 
@@ -394,7 +450,7 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         cfg = cfg.with_max_attempts(n);
     }
     let obs_active = Obs::active(f);
-    let mut res = if f.jobs > 1 || f.tasks.is_some() || f.cache || obs_active {
+    let (mut res, cert_seed) = if f.jobs > 1 || f.tasks.is_some() || f.cache || obs_active {
         // Portfolio engine path. The task count is fixed independently
         // of --jobs (default 4), which is what makes the reduction
         // jobs-invariant. Observability flags force this path even at
@@ -415,9 +471,10 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         note_workers(&pres.workers);
         note_cache(&engine);
         obs.finish(f, "kway", path, &[("tasks", tasks.to_string())])?;
-        pres.result.clone()
+        let winner_seed = cfg.seed.wrapping_add(pres.winner as u64);
+        (pres.result.clone(), winner_seed)
     } else {
-        kway_partition(&hg, &cfg)?
+        (kway_partition(&hg, &cfg)?, cfg.seed)
     };
     note_degradation(&res.degradation);
     if f.refine {
@@ -463,7 +520,65 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         std::fs::write(out, csv)?;
         println!("assignment written to {out}");
     }
+    if let Some(out) = &f.certify_out {
+        write_certificate(Some(res.certificate(&hg, &lib, cert_seed)), out, path)?;
+    }
     Ok(())
+}
+
+/// `netpart verify <cert>`: re-checks a solution certificate with the
+/// independent oracle. The netlist comes from `--netlist` or the
+/// `source` path recorded in the certificate. Any violation — including
+/// a certificate that does not parse — exits
+/// [`EXIT_CERTIFICATE_VIOLATION`].
+fn cmd_verify(cert_path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
+    let text = std::fs::read_to_string(cert_path)
+        .map_err(|e| format!("cannot read certificate {cert_path}: {e}"))?;
+    let cert = SolutionCertificate::parse(&text).map_err(|e| {
+        Box::new(CertificateViolation(format!(
+            "malformed certificate {cert_path}: {e}"
+        ))) as Box<dyn Error>
+    })?;
+    let netlist_path = f
+        .netlist
+        .clone()
+        .or_else(|| cert.source.clone())
+        .ok_or("certificate records no source netlist; pass --netlist <file.blif>")?;
+    let (_, hg) = load(&netlist_path)?;
+    let report = verify(&hg, &cert);
+    let obs = if Obs::active(f) {
+        Some(Obs::from_flags(f)?)
+    } else {
+        None
+    };
+    if let Some(obs) = &obs {
+        obs.recorder.record(
+            &Event::new("verify", "report", Level::Info)
+                .field("violations", report.violations().len())
+                .field("clean", report.is_clean())
+                .field("cut", report.recomputed().cut),
+        );
+    }
+    println!("{report}");
+    if !report.is_clean() {
+        let rows: Vec<(String, String)> = report
+            .violations()
+            .iter()
+            .map(|v| (v.code().to_string(), v.to_string()))
+            .collect();
+        eprintln!("{}", violation_table("certificate violations", &rows));
+    }
+    if let Some(obs) = &obs {
+        obs.finish(f, "verify", &netlist_path, &[("cert", cert_path.to_string())])?;
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Box::new(CertificateViolation(format!(
+            "certificate {cert_path} rejected with {} violation(s)",
+            report.violations().len()
+        ))))
+    }
 }
 
 fn cmd_synth(gates: &str, out: Option<&String>, f: &Flags) -> Result<(), Box<dyn Error>> {
@@ -504,6 +619,7 @@ fn main() {
         "stats" => cmd_stats(&args[1]),
         "bipartition" => cmd_bipartition(&args[1], &flags),
         "kway" => cmd_kway(&args[1], &flags),
+        "verify" => cmd_verify(&args[1], &flags),
         "synth" => cmd_synth(&args[1], synth_out.as_ref(), &flags),
         _ => {
             usage();
@@ -511,9 +627,12 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        let code = e
-            .downcast_ref::<PartitionError>()
-            .map_or(1, PartitionError::exit_code);
+        let code = if e.is::<CertificateViolation>() {
+            EXIT_CERTIFICATE_VIOLATION
+        } else {
+            e.downcast_ref::<PartitionError>()
+                .map_or(1, PartitionError::exit_code)
+        };
         std::process::exit(code);
     }
 }

@@ -1,4 +1,10 @@
 //! The paper's experiments (§IV), one driver per exhibit.
+//!
+//! Relocated into the hermetic root package (from the registry-dependent
+//! bench crate) so the golden-snapshot tests can regenerate every
+//! archived CSV offline. Timing columns are controlled by [`Timing`]:
+//! the golden protocol runs [`Timing::Deterministic`], which prints `-`
+//! in every wall-clock cell so regenerated tables are byte-stable.
 
 use netpart_core::{
     kway_partition, run_many, BipartitionConfig, KWayConfig, PartitionError, ReplicationMode,
@@ -10,6 +16,18 @@ use netpart_report::{f1, f2, pct, Table};
 use netpart_techmap::{map, MapperConfig};
 use std::fmt;
 use std::time::Instant;
+
+/// Whether experiment drivers measure wall-clock time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Timing {
+    /// Measure wall time and print CPU columns (non-reproducible —
+    /// byte-identical regeneration is impossible in this mode).
+    Wall,
+    /// Skip timing; CPU columns print `-`. The golden-snapshot
+    /// protocol (see `tests/golden_tables.rs`).
+    #[default]
+    Deterministic,
+}
 
 /// A typed failure of an experiment driver. Every way a driver can go
 /// wrong — an unknown circuit name, a mapping failure, an infeasible
@@ -228,9 +246,10 @@ pub struct Table3Record {
     pub repl_avg: f64,
     /// Mean replicated-cell count with functional replication.
     pub repl_cells: f64,
-    /// Wall-clock for the plain runs.
+    /// Wall-clock for the plain runs (0 under [`Timing::Deterministic`]).
     pub plain_secs: f64,
-    /// Wall-clock for the replication runs.
+    /// Wall-clock for the replication runs (0 under
+    /// [`Timing::Deterministic`]).
     pub repl_secs: f64,
 }
 
@@ -259,15 +278,20 @@ pub fn table3_record(
     name: &str,
     hg: &Hypergraph,
     runs: usize,
+    timing: Timing,
 ) -> Result<Table3Record, ExperimentError> {
     let fail = |source: PartitionError| ExperimentError::PartitionFailed {
         name: name.to_string(),
         source,
     };
+    let clock = |t0: Instant| match timing {
+        Timing::Wall => t0.elapsed().as_secs_f64(),
+        Timing::Deterministic => 0.0,
+    };
     let base = BipartitionConfig::equal(hg, 0.1).with_seed(1000);
     let t0 = Instant::now();
     let plain = run_many(hg, &base, runs).map_err(fail)?;
-    let plain_secs = t0.elapsed().as_secs_f64();
+    let plain_secs = clock(t0);
     let t0 = Instant::now();
     let repl = run_many(
         hg,
@@ -275,7 +299,7 @@ pub fn table3_record(
         runs,
     )
     .map_err(fail)?;
-    let repl_secs = t0.elapsed().as_secs_f64();
+    let repl_secs = clock(t0);
     Ok(Table3Record {
         name: name.to_string(),
         plain_best: plain.best_cut(),
@@ -291,6 +315,9 @@ pub fn table3_record(
 /// Table III: best/average cut of FM min-cut vs FM + functional
 /// replication over `runs` randomized bipartitions per circuit.
 ///
+/// Under [`Timing::Deterministic`] the CPU-overhead column prints `-`
+/// and the table is a pure function of `(suite, runs)`.
+///
 /// # Errors
 ///
 /// Propagates the first [`ExperimentError`] from
@@ -298,6 +325,7 @@ pub fn table3_record(
 pub fn table3(
     suite: &[(String, Hypergraph)],
     runs: usize,
+    timing: Timing,
 ) -> Result<(Table, Vec<Table3Record>), ExperimentError> {
     let mut t = Table::new(
         format!("Table III — cutset size over {runs} runs (equal halves, T = 0)"),
@@ -306,9 +334,13 @@ pub fn table3(
             "Repl cells", "CPU ovh %",
         ],
     );
+    let cpu = |r: &Table3Record| match timing {
+        Timing::Wall => pct(r.repl_secs / r.plain_secs.max(1e-9) - 1.0),
+        Timing::Deterministic => "-".into(),
+    };
     let mut records = Vec::new();
     for (name, hg) in suite {
-        let r = table3_record(name, hg, runs)?;
+        let r = table3_record(name, hg, runs, timing)?;
         t.row([
             r.name.clone(),
             r.plain_best.to_string(),
@@ -318,18 +350,22 @@ pub fn table3(
             pct(r.best_reduction()),
             pct(r.avg_reduction()),
             f1(r.repl_cells),
-            pct(r.repl_secs / r.plain_secs.max(1e-9) - 1.0),
+            cpu(&r),
         ]);
         records.push(r);
     }
-    finish_table3(&mut t, &records);
+    finish_table3(&mut t, &records, timing);
     Ok((t, records))
 }
 
-fn finish_table3(t: &mut Table, records: &[Table3Record]) {
+fn finish_table3(t: &mut Table, records: &[Table3Record], timing: Timing) {
     if !records.is_empty() {
         let m = |f: &dyn Fn(&Table3Record) -> f64| {
             records.iter().map(f).sum::<f64>() / records.len() as f64
+        };
+        let cpu = match timing {
+            Timing::Wall => pct(m(&|r| r.repl_secs / r.plain_secs.max(1e-9) - 1.0)),
+            Timing::Deterministic => "-".into(),
         };
         t.row([
             "Avg.".into(),
@@ -340,7 +376,7 @@ fn finish_table3(t: &mut Table, records: &[Table3Record]) {
             pct(m(&|r| r.best_reduction())),
             pct(m(&|r| r.avg_reduction())),
             String::new(),
-            pct(m(&|r| r.repl_secs / r.plain_secs.max(1e-9) - 1.0)),
+            cpu,
         ]);
     }
 }
@@ -362,7 +398,8 @@ pub struct KWayRecord {
     pub iob_util: f64,
     /// Devices used.
     pub k: usize,
-    /// Wall-clock seconds for this run.
+    /// Wall-clock seconds for this run (0 under
+    /// [`Timing::Deterministic`]).
     pub secs: f64,
     /// Whether a feasible partition was found.
     pub feasible: bool,
@@ -378,6 +415,7 @@ pub fn kway_experiment(
     thresholds: &[Option<u32>],
     candidates: usize,
     seed: u64,
+    timing: Timing,
 ) -> Vec<KWayRecord> {
     let logic_cells = hg.cells().iter().filter(|c| !c.is_terminal()).count();
     thresholds
@@ -394,7 +432,10 @@ pub fn kway_experiment(
                 .with_replication(mode);
             let t0 = Instant::now();
             let out = kway_partition(hg, &cfg);
-            let secs = t0.elapsed().as_secs_f64();
+            let secs = match timing {
+                Timing::Wall => t0.elapsed().as_secs_f64(),
+                Timing::Deterministic => 0.0,
+            };
             match out {
                 Ok(r) => KWayRecord {
                     name: name.to_string(),
@@ -437,6 +478,10 @@ fn fmt_or_dash(feasible: bool, s: String) -> String {
 /// cost (VI) and average IOB utilization (VII), each for the
 /// no-replication baseline and `T = 0, 1, 2, 3`.
 ///
+/// Under [`Timing::Deterministic`] the two CPU columns of Table IV
+/// print `-` and all four tables are pure functions of
+/// `(suite, candidates, seed)`.
+///
 /// # Errors
 ///
 /// [`ExperimentError::MissingRecord`] if the experiment bookkeeping
@@ -446,11 +491,12 @@ pub fn tables_4_to_7(
     suite: &[(String, Hypergraph)],
     candidates: usize,
     seed: u64,
+    timing: Timing,
 ) -> Result<(Table, Table, Table, Table, Vec<KWayRecord>), ExperimentError> {
     let thresholds = [None, Some(0), Some(1), Some(2), Some(3)];
     let mut all = Vec::new();
     for (name, hg) in suite {
-        all.extend(kway_experiment(name, hg, &thresholds, candidates, seed));
+        all.extend(kway_experiment(name, hg, &thresholds, candidates, seed, timing));
     }
     let by = |name: &str, th: Option<u32>| -> Result<&KWayRecord, ExperimentError> {
         all.iter()
@@ -459,6 +505,10 @@ pub fn tables_4_to_7(
                 name: name.to_string(),
                 threshold: th,
             })
+    };
+    let cpu = |r: &KWayRecord| match timing {
+        Timing::Wall => f1(r.secs),
+        Timing::Deterministic => "-".into(),
     };
 
     let mut t4 = Table::new(
@@ -485,8 +535,8 @@ pub fn tables_4_to_7(
             let r = by(name, Some(t))?;
             row4.push(fmt_or_dash(r.feasible, pct(r.replicated_frac)));
         }
-        row4.push(f1(by(name, Some(3))?.secs));
-        row4.push(f1(base.secs));
+        row4.push(cpu(by(name, Some(3))?));
+        row4.push(cpu(base));
         t4.row(row4);
         let mut row5 = vec![name.clone(), fmt_or_dash(base.feasible, pct(base.clb_util))];
         let mut row6 = vec![
@@ -554,11 +604,22 @@ mod tests {
     #[test]
     fn table3_reduces_cut() {
         let s = tiny_suite();
-        let (t, records) = table3(&s, 3).expect("suite circuits are satisfiable");
+        let (t, records) =
+            table3(&s, 3, Timing::Deterministic).expect("suite circuits are satisfiable");
         assert_eq!(t.n_rows(), 3); // 2 circuits + Avg.
         for r in &records {
             assert!(r.repl_avg <= r.plain_avg, "{r:?}");
         }
+        // Deterministic timing prints `-` in the CPU column.
+        assert!(t.to_csv().lines().nth(1).is_some_and(|l| l.ends_with(",-")));
+    }
+
+    #[test]
+    fn deterministic_timing_is_byte_stable() {
+        let s = tiny_suite();
+        let a = table3(&s, 2, Timing::Deterministic).expect("runs").0;
+        let b = table3(&s, 2, Timing::Deterministic).expect("runs").0;
+        assert_eq!(a.to_csv(), b.to_csv());
     }
 
     #[test]
@@ -571,7 +632,14 @@ mod tests {
     #[test]
     fn kway_records_cover_thresholds() {
         let s = suite(16, &["s5378"]);
-        let recs = kway_experiment("s5378", &s[0].1, &[None, Some(1)], 2, 7);
+        let recs = kway_experiment(
+            "s5378",
+            &s[0].1,
+            &[None, Some(1)],
+            2,
+            7,
+            Timing::Deterministic,
+        );
         assert_eq!(recs.len(), 2);
         assert!(recs.iter().all(|r| r.feasible));
         assert!(recs[0].cost > 0);

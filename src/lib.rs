@@ -21,7 +21,13 @@
 //!   cache);
 //! * [`obs`] — the structured observability layer (deterministic JSONL
 //!   run traces, paper-metric gauges, metrics snapshots);
-//! * [`report`] — experiment tables.
+//! * [`report`] — experiment tables;
+//! * [`verify`] — the independent solution-certificate verifier (an
+//!   oracle that re-derives every claim from scratch, sharing no code
+//!   with the optimizer's bookkeeping).
+//!
+//! The [`experiments`] module regenerates the paper's tables and
+//! figures (Tables I–VII, Figure 3) from the in-repo benchmark suite.
 //!
 //! # Examples
 //!
@@ -57,6 +63,9 @@ pub use netpart_netlist as netlist;
 pub use netpart_obs as obs;
 pub use netpart_report as report;
 pub use netpart_techmap as techmap;
+pub use netpart_verify as verify;
+
+pub mod experiments;
 
 /// The most common items, importable in one line.
 pub mod prelude {
@@ -79,4 +88,5 @@ pub mod prelude {
         strip_timing, Event, JsonlRecorder, Level, MetricsRecorder, MetricsSnapshot, Recorder, Tee,
     };
     pub use netpart_techmap::{decompose_wide_gates, map, MapperConfig};
+    pub use netpart_verify::{verify, SolutionCertificate, VerifyReport, Violation};
 }

@@ -1,9 +1,16 @@
 //! The CLI's exit-code contract: 0 for success (including degraded
-//! results), 1 for I/O/parse failures, 2 for usage errors. Codes 3–5
+//! results), 1 for I/O/parse failures, 2 for usage errors, 6 for a
+//! certificate that `netpart verify` rejects — malformed or with
+//! claims the independent re-evaluation contradicts. Codes 3–5
 //! (infeasible / budget / internal) come from `PartitionError` and are
 //! exercised at the library layer in `tests/fault_injection.rs`; the
 //! built-in XC3000 library makes them hard to trigger from the CLI on
 //! small inputs.
+//!
+//! The malformed-certificate corpus under `tests/data/` derives from
+//! `cert_small_ok.cert` (a real k-way run on `verify_small.blif`, seed
+//! 7) by hand mutation: each `cert_*.cert` neighbour breaks exactly one
+//! rule the original obeys.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -101,5 +108,101 @@ fn budgeted_bipartition_is_degraded_but_exits_zero() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("best cut"), "no summary printed: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs `netpart verify` on a corpus certificate with the netlist
+/// override pinned, returning `(exit_code, stderr)`.
+fn verify_cert(name: &str) -> (Option<i32>, String) {
+    let out = netpart()
+        .args([
+            "verify",
+            data(name).to_str().unwrap(),
+            "--netlist",
+            data("verify_small.blif").to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn honest_certificate_verifies_with_exit_zero() {
+    let (code, err) = verify_cert("cert_small_ok.cert");
+    assert_eq!(code, Some(0), "honest certificate rejected: {err}");
+}
+
+#[test]
+fn truncated_certificate_exits_six() {
+    let (code, err) = verify_cert("cert_truncated.cert");
+    assert_eq!(code, Some(6));
+    assert!(err.contains("truncated"), "stderr lacks the cause: {err}");
+}
+
+#[test]
+fn duplicate_cell_certificate_exits_six() {
+    let (code, err) = verify_cert("cert_duplicate_cell.cert");
+    assert_eq!(code, Some(6));
+    assert!(err.contains("duplicate-cell"), "stderr lacks the code: {err}");
+}
+
+#[test]
+fn phantom_net_certificate_exits_six() {
+    let (code, err) = verify_cert("cert_phantom_net.cert");
+    assert_eq!(code, Some(6));
+    assert!(err.contains("phantom-net"), "stderr lacks the code: {err}");
+}
+
+#[test]
+fn infeasible_device_id_certificate_exits_six() {
+    let (code, err) = verify_cert("cert_bad_device.cert");
+    assert_eq!(code, Some(6));
+    assert!(
+        err.contains("device-out-of-range"),
+        "stderr lacks the code: {err}"
+    );
+}
+
+#[test]
+fn certify_then_verify_round_trips_through_the_cli() {
+    // The full loop a user runs: partition with --certify-out, then feed
+    // the certificate straight back through `netpart verify`.
+    let dir = std::env::temp_dir().join(format!("netpart-cert-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cert = dir.join("roundtrip.cert");
+    let out = netpart()
+        .args([
+            "kway",
+            data("verify_small.blif").to_str().unwrap(),
+            "--seed",
+            "9",
+            "--candidates",
+            "2",
+            "--certify-out",
+            cert.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "kway failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = netpart()
+        .args(["verify", cert.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "fresh certificate rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("certificate OK"), "no verdict: {stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -11,36 +11,8 @@ use netpart::core::gain::{
 };
 use netpart::core::{CellState, EngineState};
 use netpart::prelude::*;
+use netpart::verify::gen::mapped_with_sides;
 use proptest::prelude::*;
-
-/// Builds a random mapped circuit and a random bipartition side vector.
-fn mapped_with_sides(
-    gates: usize,
-    dffs: usize,
-    seed: u64,
-    side_seed: u64,
-) -> (Hypergraph, Vec<u8>) {
-    let nl = generate(
-        &GeneratorConfig::new(gates)
-            .with_dff(dffs)
-            .with_seed(seed)
-            .with_clustering(0.6),
-    );
-    let hg = map(&nl, &MapperConfig::xc3000())
-        .expect("generated netlists map")
-        .to_hypergraph(&nl);
-    // xorshift-style deterministic sides from side_seed
-    let mut x = side_seed | 1;
-    let sides = (0..hg.n_cells())
-        .map(|_| {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            (x & 1) as u8
-        })
-        .collect();
-    (hg, sides)
-}
 
 /// True iff every pin of the cell is on a distinct net (the vector
 /// model's implicit assumption).

@@ -8,16 +8,8 @@
 use netpart::hypergraph::{CellCopy, Pin};
 use netpart::prelude::*;
 use netpart::techmap::Unit;
+use netpart::verify::gen::gen_netlist;
 use proptest::prelude::*;
-
-fn gen_netlist(gates: usize, dffs: usize, clustering: f64, seed: u64) -> Netlist {
-    generate(
-        &GeneratorConfig::new(gates)
-            .with_dff(dffs)
-            .with_clustering(clustering)
-            .with_seed(seed),
-    )
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
