@@ -34,6 +34,23 @@ pub struct FaultPlan {
     /// catch-and-convert contract (a worker panic must surface as a
     /// typed error or degraded result, never a process abort or hang).
     pub panic_in_worker: Option<u64>,
+    /// Crash the serving process (`kill -9` semantics: no cleanup, no
+    /// destructors) immediately *after* the named journal transition is
+    /// made durable. Labels are the `netpart-serve` journal record
+    /// types (`submit`, `claim`, `start`, `done`, `fail`, `retry`,
+    /// `quarantine`) plus the artifact checkpoints `artifact` and
+    /// `cache`; the recovery test matrix sweeps them all.
+    pub crash_after: Option<String>,
+    /// Tear the `n`-th durable write (1-based, counted across journal
+    /// appends and atomic artifact writes): only a prefix of the bytes
+    /// reaches disk and the process then crashes. Recovery must detect
+    /// the torn record/stray temp file and never trust it.
+    pub torn_write: Option<u64>,
+    /// Fail the `n`-th durable write (1-based) with a disk-full I/O
+    /// error instead of writing anything. The server must degrade to a
+    /// typed failure (retry or clean shutdown), never a corrupt
+    /// artifact.
+    pub disk_full: Option<u64>,
 }
 
 impl FaultPlan {
@@ -49,6 +66,9 @@ impl FaultPlan {
             || self.kill_after_attempts.is_some()
             || self.kill_start.is_some()
             || self.panic_in_worker.is_some()
+            || self.crash_after.is_some()
+            || self.torn_write.is_some()
+            || self.disk_full.is_some()
     }
 
     /// Arms a kill after `n` applied FM moves.
@@ -82,6 +102,28 @@ impl FaultPlan {
         self.panic_in_worker = Some(i);
         self
     }
+
+    /// Arms a process crash right after journal transition `label` is
+    /// made durable (serve-level checkpoint; algorithm drivers ignore
+    /// it).
+    pub fn crash_after(mut self, label: impl Into<String>) -> Self {
+        self.crash_after = Some(label.into());
+        self
+    }
+
+    /// Arms a torn write on the `n`-th durable write (1-based,
+    /// serve-level checkpoint).
+    pub fn torn_write(mut self, n: u64) -> Self {
+        self.torn_write = Some(n);
+        self
+    }
+
+    /// Arms a disk-full failure on the `n`-th durable write (1-based,
+    /// serve-level checkpoint).
+    pub fn disk_full(mut self, n: u64) -> Self {
+        self.disk_full = Some(n);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +138,9 @@ mod tests {
         assert!(FaultPlan::none().kill_after_attempts(3).is_armed());
         assert!(FaultPlan::none().kill_start(0).is_armed());
         assert!(FaultPlan::none().panic_in_worker(1).is_armed());
+        assert!(FaultPlan::none().crash_after("done").is_armed());
+        assert!(FaultPlan::none().torn_write(1).is_armed());
+        assert!(FaultPlan::none().disk_full(2).is_armed());
         let p = FaultPlan::none().kill_after_moves(7).kill_after_attempts(9);
         assert_eq!(p.kill_after_moves, Some(7));
         assert_eq!(p.kill_after_passes, None);

@@ -103,6 +103,17 @@ impl Fnv1a {
         }
     }
 
+    /// Absorbs an `Option<&str>` with a presence tag.
+    pub fn write_opt_str(&mut self, v: Option<&str>) {
+        match v {
+            None => self.write_u8(0),
+            Some(s) => {
+                self.write_u8(1);
+                self.write_str(s);
+            }
+        }
+    }
+
     /// The digest so far.
     pub fn finish(&self) -> u64 {
         self.state
@@ -252,6 +263,9 @@ impl ContentHash for FaultPlan {
         h.write_opt_u64(self.kill_after_attempts);
         h.write_opt_u64(self.kill_start);
         h.write_opt_u64(self.panic_in_worker);
+        h.write_opt_str(self.crash_after.as_deref());
+        h.write_opt_u64(self.torn_write);
+        h.write_opt_u64(self.disk_full);
     }
 }
 

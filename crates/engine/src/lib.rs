@@ -39,6 +39,6 @@ pub use engine::Engine;
 pub use hash::{combine, ContentHash, Fnv1a};
 pub use incumbent::Incumbent;
 pub use portfolio::{
-    portfolio_bipartition, portfolio_bipartition_traced, portfolio_kway, portfolio_kway_traced,
-    KWayPortfolioResult, PortfolioResult, StartResult, WorkerStats,
+    bipartition_key, kway_key, portfolio_bipartition, portfolio_bipartition_traced, portfolio_kway,
+    portfolio_kway_traced, KWayPortfolioResult, PortfolioResult, StartResult, WorkerStats,
 };

@@ -1050,11 +1050,11 @@ pub fn portfolio_kway_traced(
 }
 
 /// The composite cache key of a bipartition portfolio request.
-pub(crate) fn bipartition_key(hg: &Hypergraph, base: &BipartitionConfig, n: usize) -> u64 {
+pub fn bipartition_key(hg: &Hypergraph, base: &BipartitionConfig, n: usize) -> u64 {
     crate::hash::combine(&[hg.content_hash(), base.content_hash(), n as u64])
 }
 
 /// The composite cache key of a k-way portfolio request.
-pub(crate) fn kway_key(hg: &Hypergraph, cfg: &KWayConfig, tasks: usize) -> u64 {
+pub fn kway_key(hg: &Hypergraph, cfg: &KWayConfig, tasks: usize) -> u64 {
     crate::hash::combine(&[hg.content_hash(), cfg.content_hash(), tasks as u64])
 }

@@ -161,11 +161,16 @@ pub fn strip_timing(trace: &str) -> String {
 }
 
 /// A [`Recorder`] writing JSONL to any `Write` sink (typically a
-/// buffered trace file opened by [`JsonlRecorder::create`]). Records
-/// every level by default.
+/// buffered trace file opened by [`JsonlRecorder::create_atomic`]).
+/// Records every level by default.
 pub struct JsonlRecorder {
     max: Level,
     out: Mutex<Box<dyn Write + Send>>,
+    /// `(temp path, final path)` when opened by
+    /// [`JsonlRecorder::create_atomic`]: events stream into the temp
+    /// file and only [`JsonlRecorder::commit`] publishes it.
+    atomic: Option<(std::path::PathBuf, std::path::PathBuf)>,
+    committed: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for JsonlRecorder {
@@ -182,10 +187,17 @@ impl JsonlRecorder {
         JsonlRecorder {
             max: Level::Trace,
             out: Mutex::new(out),
+            atomic: None,
+            committed: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
     /// Creates (truncating) a trace file at `path`, buffered.
+    ///
+    /// The file appears at `path` immediately and grows as events
+    /// stream in, so an interrupted run leaves a readable prefix.
+    /// Artifact consumers that must never observe a truncated trace
+    /// should use [`JsonlRecorder::create_atomic`] instead.
     ///
     /// # Errors
     ///
@@ -194,6 +206,54 @@ impl JsonlRecorder {
     pub fn create(path: &str) -> std::io::Result<Self> {
         let f = std::fs::File::create(path)?;
         Ok(Self::new(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// Creates a trace that streams into `<path>.tmp` and only appears
+    /// at `path` when [`JsonlRecorder::commit`] renames it into place.
+    ///
+    /// A run killed mid-write therefore never leaves a truncated
+    /// artifact at `path` — at worst a stale `<path>.tmp` remains,
+    /// which no consumer treats as a trace. Dropping the recorder
+    /// without committing removes the temp file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`std::io::Error`] if the temp file
+    /// cannot be created.
+    pub fn create_atomic(path: &str) -> std::io::Result<Self> {
+        let final_path = std::path::PathBuf::from(path);
+        let tmp = std::path::PathBuf::from(format!("{path}.tmp"));
+        let f = std::fs::File::create(&tmp)?;
+        let mut r = Self::new(Box::new(std::io::BufWriter::new(f)));
+        r.atomic = Some((tmp, final_path));
+        Ok(r)
+    }
+
+    /// Flushes, syncs and atomically publishes an
+    /// [atomic](JsonlRecorder::create_atomic) trace at its final path;
+    /// a no-op for plain writers and on a second call. Events recorded
+    /// after a commit are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`std::io::Error`] of the flush, sync
+    /// or rename.
+    pub fn commit(&self) -> std::io::Result<()> {
+        self.flush()?;
+        let Some((tmp, final_path)) = &self.atomic else {
+            return Ok(());
+        };
+        if self.committed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Route post-commit records into the void rather than a file
+        // that has been renamed away.
+        *self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Box::new(std::io::sink());
+        std::fs::File::open(tmp)?.sync_all()?;
+        std::fs::rename(tmp, final_path)
     }
 
     /// Caps the recorded level (default: everything).
@@ -219,6 +279,12 @@ impl JsonlRecorder {
 impl Drop for JsonlRecorder {
     fn drop(&mut self) {
         let _ = self.flush();
+        // An uncommitted atomic trace is an unwanted partial artifact.
+        if let Some((tmp, _)) = &self.atomic {
+            if !self.committed.load(std::sync::atomic::Ordering::SeqCst) {
+                let _ = std::fs::remove_file(tmp);
+            }
+        }
     }
 }
 
@@ -319,6 +385,38 @@ mod tests {
             .filter_map(Event::deterministic_skeleton)
             .collect();
         assert_eq!(via_strings, to_jsonl(&via_skeleton));
+    }
+
+    #[test]
+    fn atomic_recorder_publishes_only_on_commit() {
+        let dir = std::env::temp_dir().join(format!("netpart-obs-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let path_s = path.to_str().expect("utf8 path");
+        {
+            let r = JsonlRecorder::create_atomic(path_s).expect("create");
+            r.record(&Event::new("a", "b", Level::Info));
+            r.flush().expect("flush");
+            assert!(!path.exists(), "final path must not exist before commit");
+            assert!(path.with_extension("jsonl.tmp").exists());
+            r.commit().expect("commit");
+            r.commit().expect("second commit is a no-op");
+            assert!(path.exists());
+            assert!(!path.with_extension("jsonl.tmp").exists());
+        }
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 1);
+
+        // Dropping without commit removes the temp file and never
+        // touches the final path.
+        let path2 = dir.join("dropped.jsonl");
+        {
+            let r = JsonlRecorder::create_atomic(path2.to_str().expect("utf8")).expect("create");
+            r.record(&Event::new("a", "b", Level::Info));
+        }
+        assert!(!path2.exists());
+        assert!(!path2.with_extension("jsonl.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Durable writes with fault injection.
+//!
+//! Every byte the service persists flows through two primitives:
+//! [`atomic_write`] (temp file + fsync + rename, so the final path
+//! either holds the complete old content or the complete new content)
+//! and the journal append in [`Wal`](crate::Wal). Both consult the
+//! shared [`Injector`], which realizes the serve-level faults of a
+//! [`FaultPlan`]: crash-after-transition, torn writes and disk-full
+//! errors — all deterministic (counter-based, never wall-clock).
+
+use crate::ServeError;
+use netpart_core::FaultPlan;
+use std::cell::Cell;
+use std::io::Write as _;
+use std::path::Path;
+
+/// What an injected crash point does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CrashMode {
+    /// `std::process::abort()` — true `kill -9` semantics (no
+    /// destructors, no flushes). The `netpart serve` binary uses this.
+    #[default]
+    Abort,
+    /// Return [`ServeError::CrashInjected`] so an in-process test can
+    /// observe the interruption and immediately reopen the spool. The
+    /// server guarantees no cleanup I/O happens after the error is
+    /// raised, making it WAL-equivalent to an abort.
+    Return,
+}
+
+/// The deterministic fault realizer shared by every durable write of
+/// one server instance.
+#[derive(Debug)]
+pub struct Injector {
+    plan: FaultPlan,
+    mode: CrashMode,
+    writes: Cell<u64>,
+}
+
+/// A fault selected for one durable write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Persist only a prefix, then crash.
+    Torn,
+    /// Fail with a disk-full error; nothing is written.
+    DiskFull,
+}
+
+impl Injector {
+    /// An injector realizing `plan` with crash behaviour `mode`.
+    pub fn new(plan: FaultPlan, mode: CrashMode) -> Self {
+        Injector {
+            plan,
+            mode,
+            writes: Cell::new(0),
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn none() -> Self {
+        Injector::new(FaultPlan::none(), CrashMode::Return)
+    }
+
+    /// Fires the crash point `label` if the plan arms it: aborts the
+    /// process ([`CrashMode::Abort`]) or returns the typed error
+    /// ([`CrashMode::Return`]). A no-op otherwise.
+    pub fn crash_point(&self, label: &str) -> Result<(), ServeError> {
+        if self.plan.crash_after.as_deref() != Some(label) {
+            return Ok(());
+        }
+        match self.mode {
+            CrashMode::Abort => std::process::abort(),
+            CrashMode::Return => Err(ServeError::CrashInjected {
+                label: label.to_string(),
+            }),
+        }
+    }
+
+    /// Counts one durable write and returns the fault armed for it, if
+    /// any (1-based: `torn_write: Some(1)` tears the first write).
+    pub fn next_write_fault(&self) -> Option<WriteFault> {
+        let n = self.writes.get() + 1;
+        self.writes.set(n);
+        if self.plan.torn_write == Some(n) {
+            return Some(WriteFault::Torn);
+        }
+        if self.plan.disk_full == Some(n) {
+            return Some(WriteFault::DiskFull);
+        }
+        None
+    }
+
+    /// The crash realization mode.
+    pub fn mode(&self) -> CrashMode {
+        self.mode
+    }
+
+    /// Raises the post-torn-write crash: the write persisted a prefix,
+    /// now the process dies.
+    pub(crate) fn torn_crash(&self, what: &str) -> ServeError {
+        match self.mode {
+            CrashMode::Abort => std::process::abort(),
+            CrashMode::Return => ServeError::CrashInjected {
+                label: format!("torn-write:{what}"),
+            },
+        }
+    }
+
+    /// The injected disk-full error for `what`.
+    pub(crate) fn disk_full_error(&self, what: &str) -> std::io::Error {
+        std::io::Error::other(format!("disk full (injected) writing {what}"))
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the content streams into
+/// `<path>.tmp`, is fsynced, and is renamed over `path` in one step.
+/// An interruption at any point leaves either the previous content or
+/// no file at `path` — never a truncated artifact (at worst a stray
+/// `.tmp` remains, which nothing trusts).
+///
+/// # Errors
+///
+/// Propagates I/O failures (including an injected disk-full fault) as
+/// [`ServeError::Io`]; an injected torn write persists a prefix of the
+/// temp file and then crashes per the injector's [`CrashMode`].
+pub fn atomic_write(path: &Path, bytes: &[u8], inj: &Injector) -> Result<(), ServeError> {
+    let what = path.display().to_string();
+    let fault = inj.next_write_fault();
+    if fault == Some(WriteFault::DiskFull) {
+        return Err(ServeError::io(inj.disk_full_error(&what).to_string()));
+    }
+    let tmp = tmp_path(path);
+    let mut f = std::fs::File::create(&tmp)
+        .map_err(|e| ServeError::io(format!("create {}: {e}", tmp.display())))?;
+    if fault == Some(WriteFault::Torn) {
+        let half = &bytes[..bytes.len() / 2];
+        let _ = f.write_all(half);
+        let _ = f.sync_all();
+        return Err(inj.torn_crash(&what));
+    }
+    f.write_all(bytes)
+        .map_err(|e| ServeError::io(format!("write {}: {e}", tmp.display())))?;
+    f.sync_all()
+        .map_err(|e| ServeError::io(format!("sync {}: {e}", tmp.display())))?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| ServeError::io(format!("rename {} -> {what}: {e}", tmp.display())))?;
+    Ok(())
+}
+
+/// The sibling temp path `<path>.tmp` used by [`atomic_write`].
+pub(crate) fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".tmp");
+    std::path::PathBuf::from(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("netpart-fsio-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("temp dir");
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_completely() {
+        let d = tdir("atomic");
+        let p = d.join("a.txt");
+        let inj = Injector::none();
+        atomic_write(&p, b"first", &inj).expect("write");
+        assert_eq!(std::fs::read(&p).expect("read"), b"first");
+        atomic_write(&p, b"second, longer", &inj).expect("rewrite");
+        assert_eq!(std::fs::read(&p).expect("read"), b"second, longer");
+        assert!(!tmp_path(&p).exists(), "temp file cleaned by rename");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_write_leaves_final_path_untouched() {
+        let d = tdir("torn");
+        let p = d.join("a.txt");
+        let inj = Injector::new(FaultPlan::none().torn_write(2), CrashMode::Return);
+        atomic_write(&p, b"intact", &inj).expect("first write unharmed");
+        let err = atomic_write(&p, b"replacement-bytes", &inj).expect_err("second write torn");
+        assert!(matches!(err, ServeError::CrashInjected { .. }), "{err}");
+        assert_eq!(
+            std::fs::read(&p).expect("read"),
+            b"intact",
+            "a torn write never reaches the final path"
+        );
+        let tmp = std::fs::read(tmp_path(&p)).expect("prefix persisted to tmp");
+        assert_eq!(tmp, b"replacem", "exactly half the bytes landed");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn disk_full_write_persists_nothing() {
+        let d = tdir("full");
+        let p = d.join("a.txt");
+        let inj = Injector::new(FaultPlan::none().disk_full(1), CrashMode::Return);
+        let err = atomic_write(&p, b"data", &inj).expect_err("disk full");
+        assert!(err.to_string().contains("disk full"), "{err}");
+        assert!(!p.exists());
+        assert!(!tmp_path(&p).exists());
+        // The counter advanced, so the next write succeeds.
+        atomic_write(&p, b"data", &inj).expect("later write fine");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn crash_point_fires_only_on_its_label() {
+        let inj = Injector::new(FaultPlan::none().crash_after("done"), CrashMode::Return);
+        inj.crash_point("claim").expect("other labels pass");
+        let err = inj.crash_point("done").expect_err("armed label fires");
+        assert_eq!(
+            err,
+            ServeError::CrashInjected {
+                label: "done".into()
+            }
+        );
+    }
+}

@@ -345,6 +345,27 @@ fn copy_connected(
     }
 }
 
+/// Parses serialized certificate text and re-verifies it against `hg`
+/// in one step.
+///
+/// This is the re-verification path of persisted artifacts (the
+/// `netpart-serve` disk cache re-checks every entry through it before
+/// trusting a replay): a certificate read back from disk is only as
+/// good as the bytes that survived, so parse failures are surfaced as
+/// errors and the parsed claims go through the full [`verify`] oracle.
+///
+/// # Errors
+///
+/// Returns the [`ParseError`](crate::ParseError) of a malformed or
+/// truncated certificate text.
+pub fn verify_text(
+    hg: &Hypergraph,
+    text: &str,
+) -> Result<VerifyReport, crate::certificate::ParseError> {
+    let cert = SolutionCertificate::parse(text)?;
+    Ok(verify(hg, &cert))
+}
+
 /// Re-evaluates `cert` against `hg` from scratch and reports every
 /// discrepancy.
 pub fn verify(hg: &Hypergraph, cert: &SolutionCertificate) -> VerifyReport {

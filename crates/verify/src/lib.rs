@@ -50,4 +50,4 @@ pub mod gen;
 pub use certificate::{
     circuit_digest, CellCopySpec, CertKind, Claims, DeviceSpec, ParseError, SolutionCertificate,
 };
-pub use check::{verify, Recomputed, VerifyReport, Violation};
+pub use check::{verify, verify_text, Recomputed, VerifyReport, Violation};

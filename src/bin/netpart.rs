@@ -11,6 +11,13 @@
 //!                     [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N]
 //!                     [--cache] [--certify-out C.cert]
 //! netpart verify      <file.cert> [--netlist file.blif]
+//! netpart serve       <spool-dir> [--drain] [--jobs N] [--max-queue N]
+//!                     [--max-retries N] [--backoff-base R] [--poll-ms MS]
+//!                     [--budget-ms MS] [--seed S]
+//! netpart submit      <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID]
+//!                     [job flags: --seed --runs --epsilon --candidates --tasks
+//!                      --replication --threshold --budget-ms --max-retries]
+//! netpart queue       <spool-dir>
 //! ```
 //!
 //! `--jobs N` fans the multi-start portfolio across `N` worker threads
@@ -52,6 +59,20 @@
 //! certificate, re-derives every claim, and exits `6` on any violation
 //! (including malformed certificate files).
 //!
+//! # Service mode
+//!
+//! `netpart serve <spool>` runs the durable partitioning service over a
+//! spool directory: jobs dropped by `netpart submit` are executed with
+//! every queue transition journaled to a checksummed write-ahead log,
+//! so the server survives `kill -9` at any point — on restart it
+//! replays the journal, re-runs interrupted jobs and replays completed
+//! ones from the certificate-verified disk cache. `--drain` processes
+//! the backlog and exits (batch mode); without it the server watches
+//! `jobs/` until a `drain` sentinel file appears in the spool.
+//! `--fault-crash-at <label>`, `--fault-torn-write <n>` and
+//! `--fault-disk-full <n>` arm the deterministic fault-injection hooks
+//! the recovery test matrix uses.
+//!
 //! # Exit codes
 //!
 //! * `0` — success, including *degraded* results (budget ran out or the
@@ -68,20 +89,26 @@
 //!   ([`PartitionError::InternalInvariant`]).
 //! * `6` — certificate violation: `netpart verify` rejected the
 //!   certificate (or could not parse it).
+//! * `7` — queue full: `netpart submit` hit the spool's backpressure
+//!   limit; nothing was written, resubmit later.
 
 use netpart::core::{refine_kway, unreplicate_cleanup};
 use netpart::engine::WorkerStats;
 use netpart::obs::StderrRecorder;
 use netpart::prelude::*;
 use netpart::report::{metrics_table, violation_table, worker_table, WorkerRow};
+use netpart::serve::{
+    atomic_write, CrashMode, Injector, JobState, QueueState, ServeError, Wal,
+};
 use std::error::Error;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
     );
     std::process::exit(2)
 }
@@ -106,6 +133,18 @@ struct Flags {
     metrics_out: Option<String>,
     certify_out: Option<String>,
     netlist: Option<String>,
+    // Service-mode flags (serve / submit / queue).
+    id: Option<String>,
+    cmd: String,
+    max_queue: usize,
+    max_retries: Option<u32>,
+    backoff_base: u64,
+    poll_ms: u64,
+    drain: bool,
+    max_moves: u64,
+    fault_crash_at: Option<String>,
+    fault_torn_write: Option<u64>,
+    fault_disk_full: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -129,6 +168,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         metrics_out: None,
         certify_out: None,
         netlist: None,
+        id: None,
+        cmd: "kway".into(),
+        max_queue: 64,
+        max_retries: None,
+        backoff_base: 2,
+        poll_ms: 50,
+        drain: false,
+        max_moves: 0,
+        fault_crash_at: None,
+        fault_torn_write: None,
+        fault_disk_full: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -156,6 +206,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--netlist" => f.netlist = Some(val()?.clone()),
             "--refine" => f.refine = true,
             "--assign" => f.assign = Some(val()?.clone()),
+            "--id" => f.id = Some(val()?.clone()),
+            "--cmd" => f.cmd = val()?.clone(),
+            "--max-queue" => f.max_queue = val()?.parse::<usize>()?.max(1),
+            "--max-retries" => f.max_retries = Some(val()?.parse()?),
+            "--backoff-base" => f.backoff_base = val()?.parse()?,
+            "--poll-ms" => f.poll_ms = val()?.parse()?,
+            "--drain" => f.drain = true,
+            "--max-moves" => f.max_moves = val()?.parse()?,
+            "--fault-crash-at" => f.fault_crash_at = Some(val()?.clone()),
+            "--fault-torn-write" => f.fault_torn_write = Some(val()?.parse()?),
+            "--fault-disk-full" => f.fault_disk_full = Some(val()?.parse()?),
             _ => return Err(format!("unknown flag {a}").into()),
         }
     }
@@ -186,8 +247,11 @@ impl Obs {
         let mut tee = Tee::new();
         let mut jsonl = None;
         if let Some(path) = &f.trace_out {
+            // Atomic: the trace streams to `<path>.tmp` and only the
+            // commit in `finish` publishes it — a killed run never
+            // leaves a partial trace at the final path.
             let r = Arc::new(
-                JsonlRecorder::create(path)
+                JsonlRecorder::create_atomic(path)
                     .map_err(|e| format!("cannot create trace file {path}: {e}"))?,
             );
             jsonl = Some(Arc::clone(&r));
@@ -227,7 +291,7 @@ impl Obs {
         extra: &[(&str, String)],
     ) -> Result<(), Box<dyn Error>> {
         if let Some(j) = &self.jsonl {
-            j.flush()?;
+            j.commit()?;
         }
         if let Some(m) = &self.metrics {
             let mut snap = m.snapshot();
@@ -240,7 +304,7 @@ impl Obs {
             }
             snap.set_timing("wall_ms", self.t0.elapsed().as_millis() as u64);
             if let Some(out) = &f.metrics_out {
-                std::fs::write(out, snap.to_json())?;
+                atomic_write(Path::new(out), snap.to_json().as_bytes(), &Injector::none())?;
                 eprintln!("metrics written to {out}");
             }
             if f.verbose > 0 {
@@ -276,7 +340,11 @@ fn write_certificate(
     source: &str,
 ) -> Result<(), Box<dyn Error>> {
     let cert = cert.ok_or("nothing to certify: the winning run exported no placement")?;
-    std::fs::write(out, cert.with_source(source).to_text())?;
+    atomic_write(
+        Path::new(out),
+        cert.with_source(source).to_text().as_bytes(),
+        &Injector::none(),
+    )?;
     println!("certificate written to {out}");
     Ok(())
 }
@@ -581,6 +649,161 @@ fn cmd_verify(cert_path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
     }
 }
 
+/// Exit code for a submission refused by queue backpressure.
+const EXIT_QUEUE_FULL: i32 = 7;
+
+/// A submission the spool refused because the queue is at capacity;
+/// mapped to [`EXIT_QUEUE_FULL`] in `main`.
+#[derive(Debug)]
+struct QueueFull(String);
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for QueueFull {}
+
+/// `netpart serve <spool>`: the durable partitioning service. Runs
+/// until drained (`--drain`, or a `drain` sentinel file dropped into
+/// the spool). Crash recovery is automatic on startup: the journal is
+/// replayed, a torn tail is truncated, interrupted jobs re-run.
+fn cmd_serve(spool: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
+    let obs = Obs::from_flags(f)?;
+    let mut fault = FaultPlan::none();
+    if let Some(label) = &f.fault_crash_at {
+        fault = fault.crash_after(label.clone());
+    }
+    if let Some(n) = f.fault_torn_write {
+        fault = fault.torn_write(n);
+    }
+    if let Some(n) = f.fault_disk_full {
+        fault = fault.disk_full(n);
+    }
+    let cfg = ServeConfig {
+        jobs: f.jobs,
+        max_queue: f.max_queue,
+        max_retries: f.max_retries.unwrap_or(3),
+        backoff_base: f.backoff_base,
+        poll_ms: f.poll_ms,
+        drain: f.drain,
+        seed: f.seed,
+        default_budget_ms: f.budget_ms,
+        fault,
+        // Injected crashes die for real: `kill -9` semantics.
+        crash_mode: CrashMode::Abort,
+    };
+    let mut server = Server::open(Path::new(spool), cfg, Some(Arc::clone(&obs.recorder)))?;
+    let report = server.run()?;
+    println!(
+        "serve: {} rounds, {} attempts, {} done ({} cache hits), {} failed, {} quarantined{}",
+        report.rounds,
+        report.executed,
+        report.done,
+        report.cache_hits,
+        report.failed,
+        report.quarantined,
+        if report.drained { ", drained" } else { "" }
+    );
+    if report.recovered_interrupted > 0 || report.recovered_torn_tail {
+        eprintln!(
+            "recovery: {} interrupted job(s) re-run{}",
+            report.recovered_interrupted,
+            if report.recovered_torn_tail {
+                ", torn journal tail truncated"
+            } else {
+                ""
+            }
+        );
+    }
+    obs.finish(
+        f,
+        "serve",
+        spool,
+        &[
+            ("done", report.done.to_string()),
+            ("quarantined", report.quarantined.to_string()),
+        ],
+    )?;
+    Ok(())
+}
+
+/// `netpart submit <spool> <file.blif>`: drops a job into the spool.
+/// Exits [`EXIT_QUEUE_FULL`] when backpressure refuses it.
+fn cmd_submit(spool: &str, blif_path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
+    let id = match &f.id {
+        Some(id) => id.clone(),
+        None => Path::new(blif_path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a job id from {blif_path}; pass --id"))?
+            .to_string(),
+    };
+    let blif = std::fs::read_to_string(blif_path)
+        .map_err(|e| format!("cannot read netlist {blif_path}: {e}"))?;
+    let spec = JobSpec {
+        cmd: match f.cmd.as_str() {
+            "bipartition" => JobCmd::Bipartition,
+            "kway" => JobCmd::Kway,
+            other => return Err(format!("unknown --cmd {other:?}").into()),
+        },
+        netlist: String::new(), // submit_job rewrites to the spool copy
+        seed: f.seed,
+        runs: f.runs.max(1),
+        epsilon: f.epsilon,
+        candidates: f.candidates.max(1),
+        tasks: f.tasks.unwrap_or(4),
+        replication: mode_of(f)?,
+        budget_ms: f.budget_ms.unwrap_or(0),
+        max_moves: f.max_moves,
+        max_retries: f.max_retries,
+    };
+    match submit_job(Path::new(spool), &id, &blif, &spec, f.max_queue)? {
+        SubmitOutcome::Submitted { job } => {
+            println!("submitted {job} to {spool}");
+            Ok(())
+        }
+        SubmitOutcome::QueueFull { open, max } => Err(Box::new(QueueFull(format!(
+            "queue full: {open} open job(s) ≥ capacity {max}; resubmit later"
+        )))),
+    }
+}
+
+/// `netpart queue <spool>`: prints the folded journal state per job.
+fn cmd_queue(spool: &str) -> Result<(), Box<dyn Error>> {
+    let spool = Path::new(spool);
+    let replay = Wal::replay_readonly(&spool.join("journal.wal"))?;
+    let queue = QueueState::replay(replay.records.iter().map(|(_, r)| r));
+    println!("{} journal record(s), {} open job(s)", replay.records.len(), queue.open_count());
+    if replay.torn_tail {
+        println!("warning: torn journal tail ({} byte(s) pending truncation by the server)", replay.truncated_bytes);
+    }
+    for e in queue.jobs() {
+        let state = match &e.state {
+            JobState::Pending if e.interrupted => "interrupted".to_string(),
+            JobState::Pending => "pending".to_string(),
+            JobState::Done { cached, .. } => {
+                format!("done{}", if *cached { " (cached)" } else { "" })
+            }
+            JobState::Quarantined { .. } => "quarantined".to_string(),
+        };
+        let err = match (&e.state, &e.last_error) {
+            (JobState::Quarantined { msg, .. }, _) => format!("  [{msg}]"),
+            (_, Some((code, msg))) => format!("  [exit {code}: {msg}]"),
+            _ => String::new(),
+        };
+        println!(
+            "  {:<24} {:<12} attempts {}{}",
+            e.job,
+            state,
+            e.attempts,
+            err.replace('\n', " ")
+        );
+    }
+    Ok(())
+}
+
 fn cmd_synth(gates: &str, out: Option<&String>, f: &Flags) -> Result<(), Box<dyn Error>> {
     let gates: usize = gates.parse()?;
     let nl = generate(
@@ -604,10 +827,15 @@ fn main() {
     if args.len() < 2 {
         usage();
     }
-    // `synth` takes an optional positional output path before the flags.
+    // `synth` takes an optional positional output path before the
+    // flags; `submit` takes the netlist as a second positional.
     let synth_out = (args[0] == "synth" && args.len() >= 3 && !args[2].starts_with('-'))
         .then(|| args[2].clone());
-    let flag_start = if synth_out.is_some() { 3 } else { 2 };
+    let flag_start = if synth_out.is_some() || (args[0] == "submit" && args.len() >= 3) {
+        3
+    } else {
+        2
+    };
     let flags = match parse_flags(&args[flag_start..]) {
         Ok(f) => f,
         Err(e) => {
@@ -620,6 +848,14 @@ fn main() {
         "bipartition" => cmd_bipartition(&args[1], &flags),
         "kway" => cmd_kway(&args[1], &flags),
         "verify" => cmd_verify(&args[1], &flags),
+        "serve" => cmd_serve(&args[1], &flags),
+        "submit" => {
+            if args.len() < 3 {
+                usage();
+            }
+            cmd_submit(&args[1], &args[2], &flags)
+        }
+        "queue" => cmd_queue(&args[1]),
         "synth" => cmd_synth(&args[1], synth_out.as_ref(), &flags),
         _ => {
             usage();
@@ -629,6 +865,13 @@ fn main() {
         eprintln!("error: {e}");
         let code = if e.is::<CertificateViolation>() {
             EXIT_CERTIFICATE_VIOLATION
+        } else if e.is::<QueueFull>() {
+            EXIT_QUEUE_FULL
+        } else if let Some(se) = e.downcast_ref::<ServeError>() {
+            match se {
+                ServeError::Partition(pe) => pe.exit_code(),
+                _ => 1,
+            }
         } else {
             e.downcast_ref::<PartitionError>()
                 .map_or(1, PartitionError::exit_code)

@@ -24,7 +24,11 @@
 //! * [`report`] — experiment tables;
 //! * [`verify`] — the independent solution-certificate verifier (an
 //!   oracle that re-derives every claim from scratch, sharing no code
-//!   with the optimizer's bookkeeping).
+//!   with the optimizer's bookkeeping);
+//! * [`serve`] — the durable partitioning service: a crash-safe
+//!   spool-directory job queue with a checksummed write-ahead journal,
+//!   deterministic retry/backoff, poison-job quarantine and a verified
+//!   disk-backed result cache.
 //!
 //! The [`experiments`] module regenerates the paper's tables and
 //! figures (Tables I–VII, Figure 3) from the in-repo benchmark suite.
@@ -62,6 +66,7 @@ pub use netpart_hypergraph as hypergraph;
 pub use netpart_netlist as netlist;
 pub use netpart_obs as obs;
 pub use netpart_report as report;
+pub use netpart_serve as serve;
 pub use netpart_techmap as techmap;
 pub use netpart_verify as verify;
 
@@ -87,6 +92,9 @@ pub mod prelude {
     pub use netpart_obs::{
         strip_timing, Event, JsonlRecorder, Level, MetricsRecorder, MetricsSnapshot, Recorder, Tee,
     };
+    pub use netpart_serve::{
+        submit_job, JobCmd, JobSpec, ServeConfig, ServeReport, Server, SubmitOutcome,
+    };
     pub use netpart_techmap::{decompose_wide_gates, map, MapperConfig};
-    pub use netpart_verify::{verify, SolutionCertificate, VerifyReport, Violation};
+    pub use netpart_verify::{verify, verify_text, SolutionCertificate, VerifyReport, Violation};
 }

@@ -7,6 +7,12 @@
 //! built-in XC3000 library makes them hard to trigger from the CLI on
 //! small inputs.
 //!
+//! The malformed-BLIF corpus includes hostile encodings: CRLF line
+//! endings (line numbers must not drift), a structurally valid but
+//! empty `.model` (parses, then partitions as invalid input, exit 2)
+//! and a file truncated mid-token (line-numbered parse error, exit 1).
+//! Exit 7 (queue backpressure) is exercised in `tests/serve_recovery.rs`.
+//!
 //! The malformed-certificate corpus under `tests/data/` derives from
 //! `cert_small_ok.cert` (a real k-way run on `verify_small.blif`, seed
 //! 7) by hand mutation: each `cert_*.cert` neighbour breaks exactly one
@@ -60,6 +66,59 @@ fn missing_file_exits_one() {
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn crlf_blif_keeps_exact_line_numbers() {
+    // The whole file uses \r\n line endings; the stray cover row sits
+    // on physical line 6 and the reported line number must not drift.
+    let out = netpart()
+        .args(["stats", data("bad_crlf_stray_cover.blif").to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 6"), "wrong line under CRLF: {err}");
+    assert!(
+        err.contains("cover row outside .names"),
+        "wrong cause: {err}"
+    );
+}
+
+#[test]
+fn empty_model_parses_but_partitions_as_invalid_input() {
+    // `.model` + `.end` with nothing in between is structurally valid
+    // BLIF (stats accepts it), but partitioning an empty hypergraph is
+    // invalid input: exit 2, not a crash and not exit 1.
+    let path = data("bad_empty_model.blif");
+    let out = netpart()
+        .args(["stats", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "empty model still parses");
+    for cmd in ["bipartition", "kway"] {
+        let out = netpart()
+            .args([cmd, path.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{cmd} on empty model");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("empty hypergraph"), "{cmd}: {err}");
+    }
+}
+
+#[test]
+fn truncated_mid_token_blif_exits_one_with_line_number() {
+    // The file ends inside the `.names` token list, with no trailing
+    // newline: the parser must still report a line-numbered error for
+    // the dangling gate rather than accept or panic.
+    let out = netpart()
+        .args(["stats", data("bad_truncated_names.blif").to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 6"), "no line number: {err}");
 }
 
 #[test]

@@ -55,7 +55,14 @@ fn blif_corpus_yields_typed_errors_not_panics() {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let text = std::fs::read_to_string(&path).expect("corpus file reads");
         let parsed = no_panic(&name, || parse_blif(&text));
-        if name.starts_with("bad_") {
+        if name == "bad_empty_model.blif" {
+            // Deliberately bad at the *partitioning* stage, not parse:
+            // structurally valid BLIF with zero gates. The CLI-level
+            // exit-2 behaviour is pinned in tests/cli_exit_codes.rs.
+            bad += 1;
+            let nl = parsed.unwrap_or_else(|e| panic!("{name} should parse: {e}"));
+            assert_eq!(nl.n_gates(), 0, "{name} is meant to be empty");
+        } else if name.starts_with("bad_") {
             bad += 1;
             assert!(parsed.is_err(), "{name} should not parse");
         } else {
@@ -80,6 +87,8 @@ fn blif_corpus_errors_are_line_numbered() {
         "bad_truncated_latch.blif",
         "bad_double_driver.blif",
         "bad_empty_names.blif",
+        "bad_crlf_stray_cover.blif",
+        "bad_truncated_names.blif",
     ] {
         let text = std::fs::read_to_string(data_dir().join(name)).expect("corpus file reads");
         let err = parse_blif(&text).expect_err("malformed corpus file");
