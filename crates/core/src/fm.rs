@@ -790,7 +790,28 @@ pub fn bipartition_with_clock(
     clock: &RunClock,
 ) -> BipartitionResult {
     let sides = initial_sides(hg, cfg);
-    let mut engine = EngineState::new_weighted(hg, &sides, cfg.terminal_weight);
+    bipartition_from_sides(hg, cfg, &sides, clock)
+}
+
+/// [`bipartition_with_clock`] from an explicit initial assignment
+/// instead of the seeded random one — `sides[i]` is cell `i`'s starting
+/// side (0 or 1). This is the multilevel refinement entry point: each
+/// uncoarsening rung projects the coarse solution down and hands it
+/// here, so the V-cycle reuses the flat pass loop (gain buckets,
+/// replication phases, rollback, budgets) without duplicating any of
+/// it.
+///
+/// # Panics
+///
+/// Panics if `sides` is shorter than the cell count or contains a
+/// value other than 0 or 1.
+pub fn bipartition_from_sides(
+    hg: &Hypergraph,
+    cfg: &BipartitionConfig,
+    sides: &[u8],
+    clock: &RunClock,
+) -> BipartitionResult {
+    let mut engine = EngineState::new_weighted(hg, sides, cfg.terminal_weight);
     let psi: Vec<u32> = hg
         .cells()
         .iter()

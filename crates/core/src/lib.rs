@@ -58,7 +58,7 @@ pub use config::{BipartitionConfig, ReplicationMode, SelectionStrategy};
 pub use error::{Degradation, PartitionError, Relaxation, StopReason};
 pub use extract::{extract_rest, Extraction};
 pub use fault::FaultPlan;
-pub use fm::{bipartition, bipartition_with_clock, BipartitionResult};
+pub use fm::{bipartition, bipartition_from_sides, bipartition_with_clock, BipartitionResult};
 pub use kway::{
     kway_partition, kway_partition_with_clock, record_paper_gauges, KWayConfig, KWayResult,
 };

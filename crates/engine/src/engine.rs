@@ -3,11 +3,12 @@
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::portfolio::{
-    bipartition_key, kway_key, portfolio_bipartition_traced, portfolio_kway_traced,
-    KWayPortfolioResult, PortfolioResult,
+    bipartition_key, kway_key, portfolio_bipartition_ml_traced, portfolio_kway_ml_traced,
+    with_multilevel_key, KWayPortfolioResult, PortfolioResult,
 };
 use netpart_core::{BipartitionConfig, KWayConfig, PartitionError};
 use netpart_hypergraph::Hypergraph;
+use netpart_multilevel::MultilevelConfig;
 use netpart_obs::{Event, Level, NoopRecorder, Recorder};
 use std::sync::Arc;
 
@@ -28,6 +29,7 @@ use std::sync::Arc;
 pub struct Engine {
     jobs: usize,
     cache_enabled: bool,
+    multilevel: Option<MultilevelConfig>,
     recorder: Arc<dyn Recorder>,
     bipartitions: ResultCache<PortfolioResult>,
     kways: ResultCache<KWayPortfolioResult>,
@@ -38,6 +40,7 @@ impl Default for Engine {
         Engine {
             jobs: 1,
             cache_enabled: false,
+            multilevel: None,
             recorder: Arc::new(NoopRecorder),
             bipartitions: ResultCache::default(),
             kways: ResultCache::default(),
@@ -61,9 +64,23 @@ impl Engine {
         self
     }
 
+    /// Enables (`Some`) or disables (`None`) the multilevel V-cycle:
+    /// every portfolio start/task coarsens the circuit, partitions the
+    /// coarsest graph and refines back up (see
+    /// [`netpart_multilevel`]). Cache keys fold in the configuration,
+    /// so flat and multilevel requests never serve each other; seed
+    /// derivation and reduction order are unchanged, so `--jobs`
+    /// invariance holds exactly as in the flat engine.
+    #[must_use]
+    pub fn with_multilevel(mut self, ml: Option<MultilevelConfig>) -> Self {
+        self.multilevel = ml;
+        self
+    }
+
     /// Attaches a telemetry recorder: portfolio runs launched through
     /// this engine emit their deterministic trace into it (see
-    /// [`portfolio_bipartition_traced`]), and cache lookups emit
+    /// [`portfolio_bipartition_traced`](crate::portfolio_bipartition_traced)),
+    /// and cache lookups emit
     /// `engine.cache` hit/miss events.
     #[must_use]
     pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
@@ -79,6 +96,11 @@ impl Engine {
     /// Whether the result cache is enabled.
     pub fn cache_enabled(&self) -> bool {
         self.cache_enabled
+    }
+
+    /// The multilevel configuration, when the V-cycle is enabled.
+    pub fn multilevel(&self) -> Option<&MultilevelConfig> {
+        self.multilevel.as_ref()
     }
 
     fn record_cache(&self, kind: &'static str, hit: bool) {
@@ -104,15 +126,15 @@ impl Engine {
         base: &BipartitionConfig,
         n: usize,
     ) -> Result<(Arc<PortfolioResult>, bool), PartitionError> {
+        let ml = self.multilevel.as_ref();
         if !self.cache_enabled {
-            return portfolio_bipartition_traced(hg, base, n, self.jobs, &self.recorder)
+            return portfolio_bipartition_ml_traced(hg, base, n, self.jobs, ml, &self.recorder)
                 .map(|r| (Arc::new(r), false));
         }
-        let out = self
-            .bipartitions
-            .try_get_or_compute(bipartition_key(hg, base, n), || {
-                portfolio_bipartition_traced(hg, base, n, self.jobs, &self.recorder)
-            });
+        let key = with_multilevel_key(bipartition_key(hg, base, n), ml);
+        let out = self.bipartitions.try_get_or_compute(key, || {
+            portfolio_bipartition_ml_traced(hg, base, n, self.jobs, ml, &self.recorder)
+        });
         if let Ok((_, hit)) = &out {
             self.record_cache("bipartition", *hit);
         }
@@ -128,12 +150,14 @@ impl Engine {
         cfg: &KWayConfig,
         tasks: usize,
     ) -> Result<(Arc<KWayPortfolioResult>, bool), PartitionError> {
+        let ml = self.multilevel.as_ref();
         if !self.cache_enabled {
-            return portfolio_kway_traced(hg, cfg, tasks, self.jobs, &self.recorder)
+            return portfolio_kway_ml_traced(hg, cfg, tasks, self.jobs, ml, &self.recorder)
                 .map(|r| (Arc::new(r), false));
         }
-        let out = self.kways.try_get_or_compute(kway_key(hg, cfg, tasks), || {
-            portfolio_kway_traced(hg, cfg, tasks, self.jobs, &self.recorder)
+        let key = with_multilevel_key(kway_key(hg, cfg, tasks), ml);
+        let out = self.kways.try_get_or_compute(key, || {
+            portfolio_kway_ml_traced(hg, cfg, tasks, self.jobs, ml, &self.recorder)
         });
         if let Ok((_, hit)) = &out {
             self.record_cache("kway", *hit);

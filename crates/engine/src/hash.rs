@@ -21,6 +21,7 @@
 use netpart_core::{BipartitionConfig, Budget, FaultPlan, KWayConfig, ReplicationMode};
 use netpart_fpga::{Device, DeviceLibrary};
 use netpart_hypergraph::Hypergraph;
+use netpart_multilevel::MultilevelConfig;
 use netpart_netlist::Netlist;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -302,6 +303,16 @@ impl ContentHash for KWayConfig {
     }
 }
 
+impl ContentHash for MultilevelConfig {
+    fn hash_into(&self, h: &mut Fnv1a) {
+        h.write_usize(self.max_levels);
+        h.write_f64(self.coarsen_ratio);
+        h.write_usize(self.min_cells);
+        h.write_f64(self.max_cluster_area);
+        h.write_usize(self.refine_passes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +394,18 @@ mod tests {
         assert_ne!(kbase, k.clone().with_candidates(7).content_hash());
         assert_ne!(kbase, k.clone().with_escalation(false).content_hash());
         assert_ne!(kbase, k.clone().with_refine(true).content_hash());
+    }
+
+    #[test]
+    fn multilevel_hash_distinguishes_every_knob() {
+        let ml = MultilevelConfig::new();
+        let base = ml.content_hash();
+        assert_eq!(base, ml.clone().content_hash());
+        assert_ne!(base, ml.clone().with_max_levels(3).content_hash());
+        assert_ne!(base, ml.clone().with_coarsen_ratio(0.5).content_hash());
+        assert_ne!(base, ml.clone().with_min_cells(100).content_hash());
+        assert_ne!(base, ml.clone().with_max_cluster_area(0.1).content_hash());
+        assert_ne!(base, ml.clone().with_refine_passes(5).content_hash());
     }
 
     /// Pins the digests of fixed values so any accidental change to the

@@ -39,6 +39,7 @@ pub use engine::Engine;
 pub use hash::{combine, ContentHash, Fnv1a};
 pub use incumbent::Incumbent;
 pub use portfolio::{
-    bipartition_key, kway_key, portfolio_bipartition, portfolio_bipartition_traced, portfolio_kway,
-    portfolio_kway_traced, KWayPortfolioResult, PortfolioResult, StartResult, WorkerStats,
+    bipartition_key, kway_key, portfolio_bipartition, portfolio_bipartition_ml_traced,
+    portfolio_bipartition_traced, portfolio_kway, portfolio_kway_ml_traced, portfolio_kway_traced,
+    with_multilevel_key, KWayPortfolioResult, PortfolioResult, StartResult, WorkerStats,
 };

@@ -38,6 +38,7 @@ use netpart_core::{
     CancelToken, Degradation, KWayConfig, KWayResult, PartitionError, RunClock, StopReason,
 };
 use netpart_hypergraph::Hypergraph;
+use netpart_multilevel::{ml_kway_partition_with_clock, ml_run_start, MultilevelConfig};
 use netpart_obs::{BufferRecorder, Event, Level, NoopRecorder, Recorder, TIMING_SCOPE};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -278,6 +279,24 @@ pub fn portfolio_bipartition_traced(
     jobs: usize,
     recorder: &Arc<dyn Recorder>,
 ) -> Result<PortfolioResult, PartitionError> {
+    portfolio_bipartition_ml_traced(hg, base, n, jobs, None, recorder)
+}
+
+/// [`portfolio_bipartition_traced`] with an optional multilevel
+/// V-cycle wrapped around every start: each start coarsens, partitions
+/// the coarsest graph with its derived seed, and refines up —
+/// [`ml_run_start`] derives seeds exactly like the flat
+/// [`run_start`], so the claim/record/reduce machinery (and with it
+/// jobs-invariance) is untouched. `ml = None` (or an `ml` whose chain
+/// comes up empty for this circuit) is the flat portfolio verbatim.
+pub fn portfolio_bipartition_ml_traced(
+    hg: &Hypergraph,
+    base: &BipartitionConfig,
+    n: usize,
+    jobs: usize,
+    ml: Option<&MultilevelConfig>,
+    recorder: &Arc<dyn Recorder>,
+) -> Result<PortfolioResult, PartitionError> {
     if n == 0 {
         return Err(PartitionError::invalid_input(
             "portfolio needs at least one start",
@@ -371,7 +390,10 @@ pub fn portfolio_bipartition_traced(
                         let panic_here = base.fault.panic_in_worker == Some(i as u64);
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             assert!(!panic_here, "injected worker panic at start {i}");
-                            run_start(hg, base, i as u64, &clock)
+                            match ml {
+                                Some(m) => ml_run_start(hg, base, m, i as u64, &clock),
+                                None => run_start(hg, base, i as u64, &clock),
+                            }
                         }));
                         stats.moves += clock.moves();
                         stats.wall_ms += run_t0.elapsed().as_millis() as u64;
@@ -634,12 +656,14 @@ struct KWayPhaseOutcome {
 /// Runs every task of one phase across `jobs` workers. Task 0 runs
 /// without the shared wall deadline (the first-start guarantee); the
 /// rest drain through it and the cancel token.
+#[allow(clippy::too_many_arguments)]
 fn kway_phase(
     hg: &Hypergraph,
     cfg: &KWayConfig,
     tasks: usize,
     jobs: usize,
     escalate: bool,
+    ml: Option<&MultilevelConfig>,
     deadline: Option<Instant>,
     recorder: &Arc<dyn Recorder>,
 ) -> KWayPhaseOutcome {
@@ -708,7 +732,10 @@ fn kway_phase(
                         let panic_here = cfg.fault.panic_in_worker == Some(t as u64);
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             assert!(!panic_here, "injected worker panic at task {t}");
-                            kway_partition_with_clock(hg, &task_cfg, &clock)
+                            match ml {
+                                Some(m) => ml_kway_partition_with_clock(hg, &task_cfg, m, &clock),
+                                None => kway_partition_with_clock(hg, &task_cfg, &clock),
+                            }
                         }));
                         stats.moves += clock.moves();
                         stats.wall_ms += run_t0.elapsed().as_millis() as u64;
@@ -918,6 +945,22 @@ pub fn portfolio_kway_traced(
     jobs: usize,
     recorder: &Arc<dyn Recorder>,
 ) -> Result<KWayPortfolioResult, PartitionError> {
+    portfolio_kway_ml_traced(hg, cfg, tasks, jobs, None, recorder)
+}
+
+/// [`portfolio_kway_traced`] with an optional multilevel V-cycle
+/// wrapped around every carving task (see
+/// [`portfolio_bipartition_ml_traced`]). `ml = None` is the flat
+/// portfolio verbatim; task seeding, phases and the reduction are
+/// identical either way.
+pub fn portfolio_kway_ml_traced(
+    hg: &Hypergraph,
+    cfg: &KWayConfig,
+    tasks: usize,
+    jobs: usize,
+    ml: Option<&MultilevelConfig>,
+    recorder: &Arc<dyn Recorder>,
+) -> Result<KWayPortfolioResult, PartitionError> {
     if tasks == 0 {
         return Err(PartitionError::invalid_input(
             "portfolio needs at least one task",
@@ -942,7 +985,7 @@ pub fn portfolio_kway_traced(
         );
     }
     let mut incumbent: Option<(u64, f64)> = None;
-    let phase_a = kway_phase(hg, cfg, tasks, jobs, false, deadline, recorder);
+    let phase_a = kway_phase(hg, cfg, tasks, jobs, false, ml, deadline, recorder);
     replay_kway_phase(
         recorder.as_ref(),
         &phase_a,
@@ -963,7 +1006,7 @@ pub fn portfolio_kway_traced(
         if recorder.enabled(Level::Info) {
             recorder.record(&Event::new("portfolio", "rescue", Level::Info).field("tasks", tasks));
         }
-        let phase_b = kway_phase(hg, cfg, tasks, jobs, true, deadline, recorder);
+        let phase_b = kway_phase(hg, cfg, tasks, jobs, true, ml, deadline, recorder);
         replay_kway_phase(
             recorder.as_ref(),
             &phase_b,
@@ -1057,4 +1100,16 @@ pub fn bipartition_key(hg: &Hypergraph, base: &BipartitionConfig, n: usize) -> u
 /// The composite cache key of a k-way portfolio request.
 pub fn kway_key(hg: &Hypergraph, cfg: &KWayConfig, tasks: usize) -> u64 {
     crate::hash::combine(&[hg.content_hash(), cfg.content_hash(), tasks as u64])
+}
+
+/// Extends a flat request key with an optional multilevel
+/// configuration. A `None` key is the flat key unchanged, so enabling
+/// the cache never invalidates pre-multilevel entries; a `Some` key
+/// folds in every V-cycle knob, so flat and multilevel requests (and
+/// multilevel requests with different knobs) never collide.
+pub fn with_multilevel_key(flat: u64, ml: Option<&MultilevelConfig>) -> u64 {
+    match ml {
+        None => flat,
+        Some(m) => crate::hash::combine(&[flat, m.content_hash()]),
+    }
 }

@@ -1,0 +1,310 @@
+//! Boundary-limited FM refinement on raw side vectors.
+//!
+//! The V-cycle's whole premise is that a projected placement is already
+//! *nearly* right: after projection only cells near the cut can improve
+//! it. Running the full flat engine per level squanders that — its
+//! setup and pass costs scale with the entire graph. This refiner keeps
+//! the flat engine's move semantics (gain-ordered selection, zero- and
+//! negative-gain hill-climbing, lock-after-move, rollback to the best
+//! balanced prefix) but seeds each pass from the **boundary only**: the
+//! cells incident to at least one cut net. Cells join the working set
+//! lazily as moves cut new nets next to them, so a pass costs time
+//! proportional to the region the cut actually sweeps through, not to
+//! the circuit.
+//!
+//! The refiner is a pure function of `(hg, cfg, sides)` — no RNG — so
+//! multilevel runs stay deterministic and the engine's jobs-invariance
+//! contract survives unchanged.
+
+use netpart_core::{BipartitionConfig, RunClock, StopReason};
+use netpart_hypergraph::{Hypergraph, NetId};
+use std::collections::BinaryHeap;
+
+/// Per-cell incidence in CSR form: for each cell, its distinct incident
+/// nets with pin multiplicities. Gains and count updates must treat a
+/// cell's pins on one net as a unit (they all flip together), so the
+/// dedup is done once up front instead of per gain evaluation.
+struct Incidence {
+    start: Vec<u32>,
+    /// `(net, multiplicity)` pairs, grouped by cell.
+    entries: Vec<(u32, u32)>,
+}
+
+impl Incidence {
+    fn build(hg: &Hypergraph) -> Self {
+        let n_cells = hg.n_cells();
+        let mut start: Vec<u32> = Vec::with_capacity(n_cells + 1);
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        let mut stamp: Vec<u32> = vec![u32::MAX; hg.n_nets()];
+        let mut at: Vec<u32> = vec![0; hg.n_nets()];
+        start.push(0);
+        for (ci, cell) in hg.cells().iter().enumerate() {
+            for nid in cell.incident_nets() {
+                let ni = nid.index();
+                if stamp[ni] == ci as u32 {
+                    entries[at[ni] as usize].1 += 1;
+                } else {
+                    stamp[ni] = ci as u32;
+                    at[ni] = entries.len() as u32;
+                    entries.push((ni as u32, 1));
+                }
+            }
+            start.push(entries.len() as u32);
+        }
+        Incidence { start, entries }
+    }
+
+    fn of(&self, ci: usize) -> &[(u32, u32)] {
+        &self.entries[self.start[ci] as usize..self.start[ci + 1] as usize]
+    }
+}
+
+/// The mutable refinement state shared by the pass loop.
+struct State<'a> {
+    hg: &'a Hypergraph,
+    cfg: &'a BipartitionConfig,
+    inc: Incidence,
+    /// Per-net endpoint counts by side (pin multiplicity included).
+    cnt: Vec<[u32; 2]>,
+    areas: [u64; 2],
+    cut: usize,
+    /// Σ over terminal cells of `terminal_weight[side]` — the part of
+    /// the flat objective that is not the cut.
+    term_cost: i64,
+}
+
+impl<'a> State<'a> {
+    fn build(hg: &'a Hypergraph, cfg: &'a BipartitionConfig, sides: &[u8]) -> Self {
+        let mut cnt: Vec<[u32; 2]> = vec![[0, 0]; hg.n_nets()];
+        for (ni, net) in hg.nets().iter().enumerate() {
+            for e in net.endpoints() {
+                cnt[ni][usize::from(sides[e.cell.index()])] += 1;
+            }
+        }
+        let cut = cnt.iter().filter(|c| c[0] > 0 && c[1] > 0).count();
+        let mut areas = [0u64; 2];
+        let mut term_cost = 0i64;
+        for (ci, cell) in hg.cells().iter().enumerate() {
+            let s = usize::from(sides[ci]);
+            areas[s] += u64::from(cell.area());
+            if cell.is_terminal() {
+                term_cost += cfg.terminal_weight[s];
+            }
+        }
+        State {
+            hg,
+            cfg,
+            inc: Incidence::build(hg),
+            cnt,
+            areas,
+            cut,
+            term_cost,
+        }
+    }
+
+    /// The flat objective this refiner minimizes: cut plus the weighted
+    /// terminal placement cost.
+    fn objective(&self) -> i64 {
+        self.cut as i64 + self.term_cost
+    }
+
+    fn balanced(&self) -> bool {
+        self.cfg.balanced(self.areas)
+    }
+
+    /// Gain of moving `ci` to the other side under the current counts.
+    fn gain_of(&self, ci: usize, sides: &[u8]) -> i64 {
+        let s = usize::from(sides[ci]);
+        let o = 1 - s;
+        let mut g = 0i64;
+        for &(n, k) in self.inc.of(ci) {
+            let c = self.cnt[n as usize];
+            let cut_now = c[0] > 0 && c[1] > 0;
+            // After the move side `o` holds `c[o]+k > 0` pins, so the
+            // net stays cut iff side `s` is still populated.
+            let cut_after = c[s] - k > 0;
+            g += i64::from(cut_now) - i64::from(cut_after);
+        }
+        let cell = &self.hg.cells()[ci];
+        if cell.is_terminal() {
+            g += self.cfg.terminal_weight[s] - self.cfg.terminal_weight[o];
+        }
+        g
+    }
+
+    /// Flips `ci` to the other side, updating counts, areas, cut and
+    /// terminal cost. Shared by apply and rollback.
+    fn flip(&mut self, ci: usize, sides: &mut [u8]) {
+        let s = usize::from(sides[ci]);
+        let o = 1 - s;
+        sides[ci] = o as u8;
+        let cell = &self.hg.cells()[ci];
+        let a = u64::from(cell.area());
+        self.areas[s] -= a;
+        self.areas[o] += a;
+        if cell.is_terminal() {
+            self.term_cost += self.cfg.terminal_weight[o] - self.cfg.terminal_weight[s];
+        }
+        for &(n, k) in self.inc.of(ci) {
+            let ni = n as usize;
+            let was = self.cnt[ni];
+            self.cnt[ni][s] -= k;
+            self.cnt[ni][o] += k;
+            let now = self.cnt[ni];
+            let was_cut = was[0] > 0 && was[1] > 0;
+            let now_cut = now[0] > 0 && now[1] > 0;
+            match (was_cut, now_cut) {
+                (false, true) => self.cut += 1,
+                (true, false) => self.cut -= 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// One FM pass over the boundary. Returns `true` when the pass found a
+/// balanced prefix that strictly improves the objective (or reaches
+/// balance from an unbalanced start).
+#[allow(clippy::too_many_lines)]
+fn one_pass(st: &mut State<'_>, sides: &mut [u8]) -> bool {
+    let n_cells = st.hg.n_cells();
+    let obj0 = st.objective();
+    let start_balanced = st.balanced();
+
+    let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
+    let mut locked = vec![false; n_cells];
+    let mut seeded = vec![false; n_cells];
+    let mut cur_gain = vec![0i64; n_cells];
+
+    // Seed: every cell touching a cut net, in id order.
+    for ci in 0..n_cells {
+        let on_boundary = st
+            .inc
+            .of(ci)
+            .iter()
+            .any(|&(n, _)| st.cnt[n as usize][0] > 0 && st.cnt[n as usize][1] > 0);
+        if on_boundary {
+            seeded[ci] = true;
+            cur_gain[ci] = st.gain_of(ci, sides);
+            heap.push((cur_gain[ci], ci as u32));
+        }
+    }
+
+    let mut trail: Vec<u32> = Vec::new();
+    let mut best_obj = if start_balanced { obj0 } else { i64::MAX };
+    let mut best_len = 0usize;
+    let mut stash: Vec<u32> = Vec::new();
+
+    while let Some((g, c)) = heap.pop() {
+        let ci = c as usize;
+        if locked[ci] || g != cur_gain[ci] {
+            continue; // stale entry (lazy deletion)
+        }
+        let s = usize::from(sides[ci]);
+        let o = 1 - s;
+        let a = u64::from(st.hg.cells()[ci].area());
+        if st.areas[s] < st.cfg.min_area[s] + a || st.areas[o] + a > st.cfg.max_area[o] {
+            // Area-infeasible right now; may become feasible after the
+            // balance shifts, so park it instead of dropping it.
+            stash.push(c);
+            continue;
+        }
+
+        st.flip(ci, sides);
+        locked[ci] = true;
+        trail.push(c);
+
+        // Gain maintenance: a neighbor's gain can only change when one
+        // of the moved cell's nets crossed a criticality threshold
+        // (became cut/uncut, or is within pin-multiplicity reach of
+        // doing so). Everything else is untouched by this move.
+        for &(n, k) in st.inc.of(ci) {
+            let after = st.cnt[n as usize];
+            let before_o = after[o] - k;
+            let after_s = after[s];
+            if before_o > 2 && after_s > 2 {
+                continue;
+            }
+            for e in st.hg.net(NetId(n)).endpoints() {
+                let ei = e.cell.index();
+                if ei == ci || locked[ei] {
+                    continue;
+                }
+                let g2 = st.gain_of(ei, sides);
+                if !seeded[ei] {
+                    seeded[ei] = true;
+                    cur_gain[ei] = g2;
+                    heap.push((g2, ei as u32));
+                } else if g2 != cur_gain[ei] {
+                    cur_gain[ei] = g2;
+                    heap.push((g2, ei as u32));
+                }
+            }
+        }
+
+        let obj = st.objective();
+        if st.balanced() && obj < best_obj {
+            best_obj = obj;
+            best_len = trail.len();
+        }
+        // The areas moved; parked cells may be feasible again.
+        for &sc in &stash {
+            if !locked[sc as usize] {
+                heap.push((cur_gain[sc as usize], sc));
+            }
+        }
+        stash.clear();
+    }
+
+    // Roll back to the best balanced prefix.
+    for &c in trail[best_len..].iter().rev() {
+        st.flip(c as usize, sides);
+    }
+    best_len > 0 && (best_obj < obj0 || !start_balanced)
+}
+
+/// Refines a bipartition side vector in place with boundary-limited FM
+/// passes, stopping after `max_passes`, at convergence, or when `clock`
+/// trips. Returns the number of passes run and why the loop ended.
+///
+/// The final `sides` always satisfies the same balance guarantee as the
+/// input: every pass either improves the objective over a balanced
+/// prefix or rolls back completely, so a balanced input stays balanced
+/// and the cut never increases.
+///
+/// # Panics
+///
+/// Panics if `sides` is shorter than the cell count or contains values
+/// other than 0 and 1.
+pub fn refine_sides(
+    hg: &Hypergraph,
+    cfg: &BipartitionConfig,
+    sides: &mut [u8],
+    max_passes: usize,
+    clock: &RunClock,
+) -> (usize, StopReason) {
+    assert!(sides.len() >= hg.n_cells(), "side per cell");
+    assert!(
+        sides[..hg.n_cells()].iter().all(|&s| s <= 1),
+        "bipartition sides are 0 or 1"
+    );
+    let mut st = State::build(hg, cfg, sides);
+    let mut passes = 0usize;
+    let mut stop = StopReason::Converged;
+    while passes < max_passes {
+        if let Some(r) = clock.check_wall() {
+            stop = r;
+            break;
+        }
+        let improved = one_pass(&mut st, sides);
+        passes += 1;
+        if !improved {
+            stop = StopReason::Converged;
+            break;
+        }
+        if passes == max_passes {
+            stop = StopReason::PassLimit;
+        }
+    }
+    (passes, stop)
+}

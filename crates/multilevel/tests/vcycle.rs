@@ -1,0 +1,245 @@
+//! Integration suite for the multilevel V-cycle: contraction
+//! exactness, ψ-guard policy, flat-path identity, and end-to-end
+//! certificate round-trips through the independent verifier.
+
+use netpart_core::{bipartition, BipartitionConfig, KWayConfig, ReplicationMode};
+use netpart_fpga::DeviceLibrary;
+use netpart_hypergraph::Hypergraph;
+use netpart_multilevel::{
+    build_chain, cut_of_sides, ml_bipartition, ml_kway_partition, MultilevelConfig,
+};
+use netpart_rng::Rng;
+use netpart_verify::gen;
+
+/// A chain-friendly configuration: coarsening engages even on the
+/// small circuits the test suite can afford.
+fn small_ml() -> MultilevelConfig {
+    MultilevelConfig::new()
+        .with_min_cells(48)
+        .with_max_levels(8)
+}
+
+fn random_sides(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| u8::from(rng.gen_bool(0.5))).collect()
+}
+
+#[test]
+fn contraction_conserves_area_and_cut_exactly() {
+    let hg = gen::mapped(900, 60, 5);
+    let chain = build_chain(&hg, &small_ml(), ReplicationMode::None, 5);
+    assert!(chain.len() >= 2, "test circuit should coarsen repeatedly");
+    let mut fine: &Hypergraph = &hg;
+    for (li, level) in chain.iter().enumerate() {
+        assert_eq!(
+            level.hg.total_area(),
+            fine.total_area(),
+            "area not conserved at level {li}"
+        );
+        assert!(level.hg.n_cells() < fine.n_cells());
+        // Any coarse side assignment projects to a fine assignment with
+        // the *same* cut: dropped nets are internal, kept nets map 1:1.
+        for s in 0..4u64 {
+            let coarse_sides = random_sides(level.hg.n_cells(), 1000 + s);
+            let fine_sides = level.project_sides(&coarse_sides);
+            assert_eq!(
+                cut_of_sides(&level.hg, &coarse_sides),
+                cut_of_sides(fine, &fine_sides),
+                "cut accounting diverged at level {li}, sample {s}"
+            );
+        }
+        fine = &level.hg;
+    }
+}
+
+#[test]
+fn contracted_nets_always_span_two_cells() {
+    let hg = gen::mapped(600, 40, 9);
+    let chain = build_chain(&hg, &small_ml(), ReplicationMode::None, 9);
+    assert!(!chain.is_empty());
+    for level in &chain {
+        for net in level.hg.nets() {
+            let mut cells: Vec<u32> = net.endpoints().map(|e| e.cell.0).collect();
+            cells.sort_unstable();
+            cells.dedup();
+            assert!(
+                cells.len() >= 2,
+                "coarse net {} does not span two cells",
+                net.name()
+            );
+        }
+        // Every kept fine net maps to a real coarse net; dropped ones
+        // (single-endpoint or contracted-internal) map to None.
+        let kept = level.net_map.iter().flatten().count();
+        assert_eq!(kept, level.hg.n_nets());
+    }
+}
+
+#[test]
+fn psi_guarded_cells_survive_coarsening_unmerged() {
+    // Threshold 4 guards the top of the ψ distribution (~25% of the
+    // logic cells on this circuit) while leaving the matcher enough
+    // unguarded material to make progress; lower thresholds guard so
+    // much of an XC3000-mapped graph that coarsening (correctly)
+    // refuses to run.
+    let hg = gen::mapped(700, 50, 3);
+    let threshold = 4u32;
+    let mode = ReplicationMode::functional(threshold);
+    let chain = build_chain(&hg, &small_ml(), mode, 3);
+    assert!(!chain.is_empty());
+    let level = &chain[0];
+    assert!(level.guarded > 0, "suite circuits have ψ ≥ 1 candidates");
+    let mut cluster_size = vec![0usize; level.hg.n_cells()];
+    for &cc in &level.cell_map {
+        cluster_size[cc as usize] += 1;
+    }
+    for (i, cell) in hg.cells().iter().enumerate() {
+        let psi = cell.replication_potential();
+        if !cell.is_terminal() && psi > 0 && psi >= threshold as usize {
+            assert_eq!(
+                cluster_size[level.cell_map[i] as usize],
+                1,
+                "guarded cell {} (ψ = {psi}) was matched away",
+                cell.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn disabled_multilevel_is_flat_identical() {
+    for seed in [11u64, 29, 47] {
+        let hg = gen::mapped(350, 30, seed);
+        let cfg = BipartitionConfig::equal(&hg, 0.1)
+            .with_seed(seed)
+            .with_replication(ReplicationMode::functional(0));
+        let flat = bipartition(&hg, &cfg);
+        // Both `max_levels = 0` and a too-small circuit degenerate to
+        // the flat path *verbatim* — certificate bytes included.
+        for ml in [
+            MultilevelConfig::disabled(),
+            MultilevelConfig::new().with_min_cells(1_000_000),
+        ] {
+            let multi = ml_bipartition(&hg, &cfg, &ml);
+            let (a, b) = (
+                flat.certificate(&hg, cfg.seed).expect("exports").to_text(),
+                multi.certificate(&hg, cfg.seed).expect("exports").to_text(),
+            );
+            assert_eq!(a, b, "flat/multilevel diverged at seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn ml_bipartition_certificate_verifies_and_beats_projection() {
+    let hg = gen::mapped(1200, 80, 7);
+    let cfg = BipartitionConfig::equal(&hg, 0.1)
+        .with_seed(7)
+        .with_replication(ReplicationMode::functional(0));
+    let res = ml_bipartition(&hg, &cfg, &small_ml());
+    assert!(res.balanced, "multilevel result must satisfy the window");
+    let pl = res.placement.as_ref().expect("exports a placement");
+    assert_eq!(pl.cut_size(&hg), res.cut);
+    let cert = res.certificate(&hg, cfg.seed).expect("exports");
+    let report = netpart_verify::verify(&hg, &cert);
+    assert!(report.is_clean(), "verifier rejected: {report:?}");
+}
+
+#[test]
+fn ml_quality_is_comparable_to_flat() {
+    // Not a strict ≤ (different search trajectories), but the V-cycle
+    // must land in the same quality class as flat FM from random.
+    let hg = gen::mapped(1500, 90, 13);
+    let cfg = BipartitionConfig::equal(&hg, 0.1).with_seed(13);
+    let flat = bipartition(&hg, &cfg);
+    let multi = ml_bipartition(&hg, &cfg, &small_ml());
+    assert!(multi.balanced && flat.balanced);
+    assert!(
+        (multi.cut as f64) <= (flat.cut as f64) * 1.5 + 8.0,
+        "multilevel cut {} far worse than flat {}",
+        multi.cut,
+        flat.cut
+    );
+}
+
+#[test]
+fn ml_kway_certificate_verifies() {
+    let hg = gen::mapped(800, 50, 21);
+    let cfg = KWayConfig::new(DeviceLibrary::xc3000())
+        .with_candidates(3)
+        .with_seed(21);
+    let flat = netpart_core::kway_partition(&hg, &cfg).expect("flat k-way solves");
+    let res = ml_kway_partition(&hg, &cfg, &small_ml()).expect("ml k-way solves");
+    let cert = res.certificate(&hg, &cfg.library, cfg.seed);
+    let report = netpart_verify::verify(&hg, &cert);
+    assert!(report.is_clean(), "verifier rejected: {report:?}");
+    // Same device-cost ballpark as the flat carve.
+    assert!(
+        res.evaluation.total_cost <= flat.evaluation.total_cost * 2,
+        "ml k-way cost {} vs flat {}",
+        res.evaluation.total_cost,
+        flat.evaluation.total_cost
+    );
+}
+
+/// The boundary refiner is the workhorse of uncoarsening: it must
+/// never worsen the cut, must keep a balanced start balanced, must
+/// respect the area window on every accepted prefix, and must be a
+/// pure function of its inputs (no RNG — determinism is what lets the
+/// engine's jobs-invariance contract survive multilevel unchanged).
+#[test]
+fn boundary_refinement_improves_and_is_deterministic() {
+    use netpart_core::RunClock;
+    use netpart_multilevel::refine_sides;
+
+    let hg = gen::mapped(800, 50, 3);
+    let cfg = BipartitionConfig::equal(&hg, 0.1);
+    let clock = RunClock::new(&cfg.budget, &cfg.fault);
+    for seed in [2u64, 7, 19] {
+        // Start from a balanced random assignment (retry seeds until
+        // the area window admits one — ε = 0.1 makes that common).
+        let sides0 = (0..64)
+            .map(|k| random_sides(hg.n_cells(), seed * 100 + k))
+            .find(|s| {
+                let mut areas = [0u64; 2];
+                for (ci, cell) in hg.cells().iter().enumerate() {
+                    areas[usize::from(s[ci])] += u64::from(cell.area());
+                }
+                cfg.balanced(areas)
+            })
+            .expect("some random assignment is balanced");
+        let before = cut_of_sides(&hg, &sides0);
+
+        let mut a = sides0.clone();
+        let (passes, _) = refine_sides(&hg, &cfg, &mut a, 16, &clock);
+        assert!(passes >= 1);
+        let after = cut_of_sides(&hg, &a);
+        assert!(after < before, "no improvement at seed {seed}");
+        let mut areas = [0u64; 2];
+        for (ci, cell) in hg.cells().iter().enumerate() {
+            areas[usize::from(a[ci])] += u64::from(cell.area());
+        }
+        assert!(cfg.balanced(areas), "refiner broke balance at seed {seed}");
+
+        // Purity: the same input refines to the identical side vector.
+        let mut b = sides0.clone();
+        refine_sides(&hg, &cfg, &mut b, 16, &clock);
+        assert_eq!(a, b, "refinement is not deterministic at seed {seed}");
+    }
+}
+
+/// `max_passes = 0` is a no-op: the sides come back untouched.
+#[test]
+fn boundary_refinement_zero_passes_is_identity() {
+    use netpart_core::RunClock;
+    use netpart_multilevel::refine_sides;
+
+    let hg = gen::mapped(300, 20, 1);
+    let cfg = BipartitionConfig::equal(&hg, 0.2);
+    let clock = RunClock::new(&cfg.budget, &cfg.fault);
+    let sides0 = random_sides(hg.n_cells(), 4);
+    let mut s = sides0.clone();
+    let (passes, _) = refine_sides(&hg, &cfg, &mut s, 0, &clock);
+    assert_eq!(passes, 0);
+    assert_eq!(s, sides0);
+}

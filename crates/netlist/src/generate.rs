@@ -46,6 +46,12 @@ pub struct GeneratorConfig {
     pub seed: u64,
     /// Maximum gate fan-in (minimum is 2).
     pub max_fanin: usize,
+    /// Rent-rule mode: when set to `Some(p)`, the wire-distance
+    /// distribution is derived from the Rent exponent `p` instead of
+    /// [`clustering`](Self::clustering), and the I/O counts follow
+    /// `T = t·G^p` without the small-circuit clamp (see
+    /// [`with_rent`](Self::with_rent)).
+    pub rent_exponent: Option<f64>,
 }
 
 impl GeneratorConfig {
@@ -63,7 +69,30 @@ impl GeneratorConfig {
             window: 48,
             seed: 1,
             max_fanin: 4,
+            rent_exponent: None,
         }
+    }
+
+    /// Enables Rent-rule mode with exponent `p` (clamped to
+    /// `[0.1, 0.85]`): region terminal counts follow `T ≈ t·B^p`.
+    ///
+    /// Two things change. The wire-distance Pareto shape becomes
+    /// `α = 1 − p` (for a power-law wire-length distribution with tail
+    /// exponent `α < 1`, the distinct-terminal count of a contiguous
+    /// `B`-gate region scales as `B^(1−α)`, so matching the target
+    /// exponent means `α = 1 − p` — the default `clustering` mapping
+    /// caps the reachable exponent near 0.4 and cannot express the
+    /// `p ≈ 0.6–0.7` of realistic logic). And the primary I/O counts
+    /// are re-derived as `T = 2.5·G^p` with no upper clamp, so 100k+-
+    /// gate circuits get realistically wide I/O boundaries instead of
+    /// the 512-pad ceiling.
+    pub fn with_rent(mut self, p: f64) -> Self {
+        let p = p.clamp(0.1, 0.85);
+        self.rent_exponent = Some(p);
+        let io = ((2.5 * (self.n_gates as f64).powf(p)).round() as usize).max(3);
+        self.n_pi = io;
+        self.n_po = (io / 2).max(2);
+        self
     }
 
     /// Sets the number of primary inputs.
@@ -152,7 +181,13 @@ pub fn generate(cfg: &GeneratorConfig) -> Netlist {
     // `clustering` knob sets the Pareto shape — higher values concentrate
     // wiring locally, which is how the ISCAS'89-style circuits differ
     // from the combinational ones in the paper's experiments.
-    let alpha = 0.6 + 2.2 * cfg.clustering;
+    // In Rent mode the shape is pinned to `α = 1 − p` so region
+    // terminal counts scale as `B^p` (see `with_rent`); otherwise the
+    // `clustering` knob sets it directly.
+    let alpha = match cfg.rent_exponent {
+        Some(p) => (1.0 - p).max(0.05),
+        None => 0.6 + 2.2 * cfg.clustering,
+    };
     let pick = |rng: &mut Rng, pool: &[SignalId], uses: &mut [u32]| -> SignalId {
         let n = pool.len();
         let u: f64 = rng.gen_f64_open();
@@ -326,6 +361,89 @@ mod tests {
         let s = NetlistStats::of(&nl);
         assert!(s.avg_fanin >= 2.0 && s.avg_fanin <= 4.0);
         assert!(s.max_level >= 3);
+    }
+
+    /// Distinct boundary-crossing signals of the contiguous
+    /// creation-order gate window `[lo, hi)`: inputs driven outside the
+    /// window plus outputs read outside it (or exported as POs).
+    fn region_terminals(
+        nl: &Netlist,
+        fanout: &[Vec<crate::model::GateId>],
+        po: &std::collections::HashSet<SignalId>,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        let inside = |g: crate::model::GateId| (lo..hi).contains(&g.index());
+        let mut crossing = std::collections::HashSet::new();
+        for gi in lo..hi {
+            let g = nl.gate(crate::model::GateId(gi as u32));
+            for &s in &g.inputs {
+                let external = match nl.driver(s) {
+                    crate::model::Driver::Gate(d) => !inside(d),
+                    _ => true,
+                };
+                if external {
+                    crossing.insert(s);
+                }
+            }
+            let s = g.output;
+            if po.contains(&s) || fanout[s.index()].iter().any(|&r| !inside(r)) {
+                crossing.insert(s);
+            }
+        }
+        crossing.len()
+    }
+
+    #[test]
+    fn rent_mode_reproduces_the_scaling_law() {
+        // T(B) ≈ t·B^p: the mean distinct-terminal count of contiguous
+        // B-gate regions must scale with the configured exponent. Fit
+        // ln T against ln B by least squares across region sizes and
+        // check the slope lands near p.
+        let p = 0.65;
+        let nl = generate(
+            &GeneratorConfig::new(16_384)
+                .with_seed(17)
+                .with_rent(p),
+        );
+        let fanout = nl.fanout_index();
+        let po: std::collections::HashSet<_> = nl.primary_outputs().iter().copied().collect();
+        let sizes = [64usize, 256, 1024, 4096];
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for &b in &sizes {
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            let mut lo = 0;
+            while lo + b <= nl.n_gates() - nl.n_dffs() {
+                sum += region_terminals(&nl, &fanout, &po, lo, lo + b) as f64;
+                count += 1;
+                lo += b;
+            }
+            pts.push(((b as f64).ln(), (sum / count as f64).ln()));
+        }
+        let n = pts.len() as f64;
+        let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |a, &(x, y)| (a.0 + x, a.1 + y));
+        let (sxx, sxy): (f64, f64) = pts
+            .iter()
+            .fold((0.0, 0.0), |a, &(x, y)| (a.0 + x * x, a.1 + x * y));
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        assert!(
+            (slope - p).abs() <= 0.15,
+            "fitted Rent exponent {slope:.3} not within 0.15 of target {p}"
+        );
+    }
+
+    #[test]
+    fn rent_mode_widens_io_without_clamp() {
+        let cfg = GeneratorConfig::new(100_000).with_rent(0.65);
+        // The default sizing clamps at 512 pads; Rent mode must not.
+        assert!(cfg.n_pi > 512, "rent-mode n_pi clamped: {}", cfg.n_pi);
+        assert_eq!(cfg.rent_exponent, Some(0.65));
+        // Deterministic per seed, like every other generator mode.
+        let a = generate(&GeneratorConfig::new(2000).with_rent(0.65).with_seed(4));
+        let b = generate(&GeneratorConfig::new(2000).with_rent(0.65).with_seed(4));
+        assert_eq!(crate::write_blif(&a), crate::write_blif(&b));
+        a.validate().unwrap();
     }
 
     #[test]

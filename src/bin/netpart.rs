@@ -6,10 +6,12 @@
 //! netpart bipartition <file.blif> [--replication none|traditional|functional]
 //!                     [--threshold T] [--runs N] [--epsilon E] [--seed S]
 //!                     [--budget-ms MS] [--jobs N] [--cache] [--certify-out C.cert]
+//!                     [--multilevel] [--max-levels N] [--coarsen-ratio R]
 //! netpart kway        <file.blif> [--replication none|functional] [--threshold T]
 //!                     [--candidates N] [--max-attempts N] [--seed S] [--refine]
 //!                     [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N]
 //!                     [--cache] [--certify-out C.cert]
+//!                     [--multilevel] [--max-levels N] [--coarsen-ratio R]
 //! netpart verify      <file.cert> [--netlist file.blif]
 //! netpart serve       <spool-dir> [--drain] [--jobs N] [--max-queue N]
 //!                     [--max-retries N] [--backoff-base R] [--poll-ms MS]
@@ -45,8 +47,22 @@
 //! engine even at `--jobs 1`, so the emission pipeline — and therefore
 //! stdout and the stripped trace — is identical at every jobs level.
 //!
+//! # Multilevel V-cycle
+//!
+//! `--multilevel` wraps every portfolio start in the multilevel V-cycle
+//! (`netpart::multilevel`): coarsen by ψ-guarded heavy-edge matching,
+//! partition the coarsest graph, refine back up. This is how 100k+-cell
+//! circuits become tractable; small circuits (below the default 3000
+//! -cell floor) fall through to the flat path byte-identically.
+//! `--max-levels N` and `--coarsen-ratio R` override the V-cycle depth
+//! and the minimum per-level shrink factor (either flag implies
+//! `--multilevel`). The multilevel path routes through the portfolio
+//! engine, so `--jobs` invariance and certificates work unchanged.
+//!
 //! Generated circuits can be exported for experimentation with
-//! `netpart synth <gates> [out.blif]`.
+//! `netpart synth <gates> [out.blif]`; `--rent P` switches the
+//! generator to Rent-rule I/O scaling (`T ≈ 2.5·B^P`) for realistic
+//! large-circuit boundaries.
 //!
 //! # Certificates
 //!
@@ -108,7 +124,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S] [--rent P]"
     );
     std::process::exit(2)
 }
@@ -128,6 +144,10 @@ struct Flags {
     jobs: usize,
     tasks: Option<usize>,
     cache: bool,
+    multilevel: bool,
+    max_levels: Option<usize>,
+    coarsen_ratio: Option<f64>,
+    rent: Option<f64>,
     verbose: u8,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -163,6 +183,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         jobs: 1,
         tasks: None,
         cache: false,
+        multilevel: false,
+        max_levels: None,
+        coarsen_ratio: None,
+        rent: None,
         verbose: 0,
         trace_out: None,
         metrics_out: None,
@@ -198,6 +222,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--jobs" => f.jobs = val()?.parse::<usize>()?.max(1),
             "--tasks" => f.tasks = Some(val()?.parse::<usize>()?.max(1)),
             "--cache" => f.cache = true,
+            "--multilevel" => f.multilevel = true,
+            "--max-levels" => f.max_levels = Some(val()?.parse()?),
+            "--coarsen-ratio" => f.coarsen_ratio = Some(val()?.parse()?),
+            "--rent" => f.rent = Some(val()?.parse()?),
             "-v" => f.verbose += 1,
             "-vv" => f.verbose += 2,
             "--trace-out" => f.trace_out = Some(val()?.clone()),
@@ -366,6 +394,22 @@ fn load(path: &str) -> Result<(Netlist, Hypergraph), Box<dyn Error>> {
     Ok((nl, hg))
 }
 
+/// The multilevel configuration requested on the command line, if any.
+/// `--max-levels` and `--coarsen-ratio` imply `--multilevel`.
+fn ml_of(f: &Flags) -> Option<MultilevelConfig> {
+    if !f.multilevel && f.max_levels.is_none() && f.coarsen_ratio.is_none() {
+        return None;
+    }
+    let mut ml = MultilevelConfig::new();
+    if let Some(n) = f.max_levels {
+        ml = ml.with_max_levels(n);
+    }
+    if let Some(r) = f.coarsen_ratio {
+        ml = ml.with_coarsen_ratio(r);
+    }
+    Some(ml)
+}
+
 fn mode_of(f: &Flags) -> Result<ReplicationMode, Box<dyn Error>> {
     Ok(match f.replication.as_str() {
         "none" => ReplicationMode::None,
@@ -448,15 +492,18 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         .with_replication(mode_of(f)?)
         .with_budget(budget_of(f));
     let runs = f.runs.max(1);
-    if f.jobs > 1 || f.cache || Obs::active(f) {
+    let ml = ml_of(f);
+    if f.jobs > 1 || f.cache || ml.is_some() || Obs::active(f) {
         // Portfolio engine path: same printed solution as the
         // sequential harness for a fixed seed, by the engine's
         // determinism contract. Observability flags force this path
         // even at --jobs 1 so the emission pipeline (and the stripped
-        // trace) is identical at every jobs level.
+        // trace) is identical at every jobs level; --multilevel always
+        // routes here so the V-cycle keeps the engine's invariance.
         let obs = Obs::from_flags(f)?;
         let engine = Engine::new(f.jobs)
             .with_cache(f.cache)
+            .with_multilevel(ml)
             .with_recorder(Arc::clone(&obs.recorder));
         let (stats, _hit) = engine.bipartition_many(&hg, &cfg, runs)?;
         note_degradation(&stats.degradation);
@@ -518,15 +565,18 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         cfg = cfg.with_max_attempts(n);
     }
     let obs_active = Obs::active(f);
-    let (mut res, cert_seed) = if f.jobs > 1 || f.tasks.is_some() || f.cache || obs_active {
+    let ml = ml_of(f);
+    let (mut res, cert_seed) = if f.jobs > 1 || f.tasks.is_some() || f.cache || ml.is_some() || obs_active
+    {
         // Portfolio engine path. The task count is fixed independently
         // of --jobs (default 4), which is what makes the reduction
         // jobs-invariant. Observability flags force this path even at
-        // --jobs 1 (see cmd_bipartition).
+        // --jobs 1 (see cmd_bipartition), as does --multilevel.
         let tasks = f.tasks.unwrap_or(4);
         let obs = Obs::from_flags(f)?;
         let engine = Engine::new(f.jobs)
             .with_cache(f.cache)
+            .with_multilevel(ml)
             .with_recorder(Arc::clone(&obs.recorder));
         let (pres, _hit) = engine.kway(&hg, &cfg, tasks)?;
         eprintln!(
@@ -806,11 +856,11 @@ fn cmd_queue(spool: &str) -> Result<(), Box<dyn Error>> {
 
 fn cmd_synth(gates: &str, out: Option<&String>, f: &Flags) -> Result<(), Box<dyn Error>> {
     let gates: usize = gates.parse()?;
-    let nl = generate(
-        &GeneratorConfig::new(gates)
-            .with_dff(f.dff)
-            .with_seed(f.seed),
-    );
+    let mut cfg = GeneratorConfig::new(gates).with_dff(f.dff).with_seed(f.seed);
+    if let Some(p) = f.rent {
+        cfg = cfg.with_rent(p);
+    }
+    let nl = generate(&cfg);
     let text = write_blif(&nl);
     match out {
         Some(path) => {

@@ -19,6 +19,9 @@
 //! * [`engine`] — the deterministic parallel portfolio engine
 //!   (multi-threaded multi-start with a shared incumbent and result
 //!   cache);
+//! * [`multilevel`] — the multilevel V-cycle (ψ-guarded heavy-edge
+//!   coarsening, coarse partitioning, projection + FM refinement) that
+//!   scales the flat engine to 100k+-cell circuits;
 //! * [`obs`] — the structured observability layer (deterministic JSONL
 //!   run traces, paper-metric gauges, metrics snapshots);
 //! * [`report`] — experiment tables;
@@ -63,6 +66,7 @@ pub use netpart_core as core;
 pub use netpart_engine as engine;
 pub use netpart_fpga as fpga;
 pub use netpart_hypergraph as hypergraph;
+pub use netpart_multilevel as multilevel;
 pub use netpart_netlist as netlist;
 pub use netpart_obs as obs;
 pub use netpart_report as report;
@@ -85,6 +89,9 @@ pub mod prelude {
     pub use netpart_fpga::{assign_devices, evaluate, Device, DeviceLibrary};
     pub use netpart_hypergraph::{
         AdjacencyMatrix, CellId, CellKind, Hypergraph, HypergraphBuilder, NetId, PartId, Placement,
+    };
+    pub use netpart_multilevel::{
+        build_chain, ml_bipartition, ml_kway_partition, MultilevelConfig,
     };
     pub use netpart_netlist::{
         bench_suite, generate, parse_blif, write_blif, GateKind, GeneratorConfig, Netlist,
