@@ -18,7 +18,7 @@ use crate::config::{BipartitionConfig, ReplicationMode, SelectionStrategy};
 use crate::error::StopReason;
 use crate::state::{CellState, EngineState};
 use netpart_hypergraph::{CellId, Hypergraph, Placement};
-use netpart_obs::{Event, Level};
+use netpart_obs::{Event, Level, Span};
 use netpart_rng::Rng;
 use std::collections::BinaryHeap;
 
@@ -350,6 +350,7 @@ fn run_pass_buckets(
         .max()
         .unwrap_or(0) as i64;
 
+    let build_span = Span::enter(clock.recorder(), "fm", "buckets.build");
     let mut cands: Vec<Candidate> = Vec::new();
     let mut range: Vec<(u32, u32)> = Vec::with_capacity(n);
     for c in hg.cell_ids() {
@@ -364,6 +365,7 @@ fn run_pass_buckets(
             buckets.insert(c.0, g, t);
         }
     }
+    drop(build_span);
 
     let mut locked = vec![false; n];
     let mut log: Vec<(CellId, CellState)> = Vec::new();
@@ -846,7 +848,9 @@ pub fn bipartition_from_sides(
         };
         stop = StopReason::PassLimit; // overwritten on convergence/interruption
         for _ in 0..cfg.max_passes {
+            let pass_span = Span::enter(recorder, "fm", "pass");
             let out = run_pass(&mut engine, &phase_cfg, &psi, clock);
+            drop(pass_span);
             passes += 1;
             gain_repairs += out.repairs as usize;
             if recorder.enabled(Level::Trace) {

@@ -9,7 +9,7 @@ use crate::portfolio::{
 use netpart_core::{BipartitionConfig, KWayConfig, PartitionError};
 use netpart_hypergraph::Hypergraph;
 use netpart_multilevel::MultilevelConfig;
-use netpart_obs::{Event, Level, NoopRecorder, Recorder};
+use netpart_obs::{Event, Level, NoopRecorder, Recorder, Span};
 use std::sync::Arc;
 
 /// A portfolio engine instance: thread count plus (optionally) a
@@ -127,6 +127,7 @@ impl Engine {
         n: usize,
     ) -> Result<(Arc<PortfolioResult>, bool), PartitionError> {
         let ml = self.multilevel.as_ref();
+        let _span = Span::enter(self.recorder.as_ref(), "engine", "bipartition");
         if !self.cache_enabled {
             return portfolio_bipartition_ml_traced(hg, base, n, self.jobs, ml, &self.recorder)
                 .map(|r| (Arc::new(r), false));
@@ -151,6 +152,7 @@ impl Engine {
         tasks: usize,
     ) -> Result<(Arc<KWayPortfolioResult>, bool), PartitionError> {
         let ml = self.multilevel.as_ref();
+        let _span = Span::enter(self.recorder.as_ref(), "engine", "kway");
         if !self.cache_enabled {
             return portfolio_kway_ml_traced(hg, cfg, tasks, self.jobs, ml, &self.recorder)
                 .map(|r| (Arc::new(r), false));

@@ -39,7 +39,7 @@ use netpart_core::{
 };
 use netpart_hypergraph::Hypergraph;
 use netpart_multilevel::{ml_kway_partition_with_clock, ml_run_start, MultilevelConfig};
-use netpart_obs::{BufferRecorder, Event, Level, NoopRecorder, Recorder, TIMING_SCOPE};
+use netpart_obs::{BufferRecorder, Event, Level, NoopRecorder, Recorder, Span, TIMING_SCOPE};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -338,6 +338,11 @@ pub fn portfolio_bipartition_ml_traced(
                 let per_start = &per_start;
                 let recorder = &recorder;
                 scope.spawn(move || {
+                    // Worker lifecycle span: presence and interleaving
+                    // depend on scheduling, so it rides the reserved
+                    // timing scope and is stripped whole-line.
+                    let _worker_span =
+                        Span::enter_with(recorder.as_ref(), TIMING_SCOPE, "worker", "worker", w);
                     let mut stats = WorkerStats {
                         worker: w,
                         ..WorkerStats::default()
@@ -687,6 +692,11 @@ fn kway_phase(
                 let per_task = &per_task;
                 let recorder = &recorder;
                 scope.spawn(move || {
+                    // Worker lifecycle span: presence and interleaving
+                    // depend on scheduling, so it rides the reserved
+                    // timing scope and is stripped whole-line.
+                    let _worker_span =
+                        Span::enter_with(recorder.as_ref(), TIMING_SCOPE, "worker", "worker", w);
                     let mut stats = WorkerStats {
                         worker: w,
                         ..WorkerStats::default()

@@ -20,7 +20,7 @@ use netpart_core::{
 };
 use netpart_fpga::evaluate;
 use netpart_hypergraph::{Hypergraph, PartId, Placement};
-use netpart_obs::{Event, Level, Recorder};
+use netpart_obs::{Event, Level, Recorder, Span};
 use std::time::Instant;
 
 /// Builds the coarsening chain for `hg`: `chain[0]` contracts `hg`,
@@ -54,7 +54,10 @@ fn build_chain_traced(
             break;
         }
         let t0 = Instant::now();
-        let Some(level) = coarsen_once(cur, ml, mode, seed.wrapping_add(lvl as u64)) else {
+        let span = Span::enter_with(recorder, "ml", "coarsen", "level", (lvl + 1) as u64);
+        let coarsened = coarsen_once(cur, ml, mode, seed.wrapping_add(lvl as u64));
+        drop(span);
+        let Some(level) = coarsened else {
             break;
         };
         let shrink = level.hg.n_cells() as f64 / cur.n_cells() as f64;
@@ -130,7 +133,9 @@ pub fn ml_bipartition_with_clock(
     clock: &RunClock,
 ) -> BipartitionResult {
     let recorder = clock.recorder();
+    let chain_span = Span::enter(recorder, "ml", "chain");
     let chain = build_chain_traced(hg, ml, cfg.replication, cfg.seed, recorder);
+    drop(chain_span);
     if chain.is_empty() {
         return bipartition_with_clock(hg, cfg, clock);
     }
@@ -141,7 +146,9 @@ pub fn ml_bipartition_with_clock(
     // the original circuit.
     let coarse_cfg = cfg.clone().with_replication(ReplicationMode::None);
     let coarsest = &chain[chain.len() - 1].hg;
+    let initial_span = Span::enter(recorder, "ml", "initial");
     let initial = bipartition_with_clock(coarsest, &coarse_cfg, clock);
+    drop(initial_span);
     let mut sides = sides_of(&initial, coarsest);
     let mut total_passes = initial.passes;
 
@@ -155,7 +162,9 @@ pub fn ml_bipartition_with_clock(
         let mut fine_sides = chain[i].project_sides(&sides);
         let projected_cut = cut_of_sides(fine_hg, &fine_sides);
         let t0 = Instant::now();
+        let span = Span::enter_with(recorder, "ml", "level", "level", i as u64);
         let (p, _) = refine_sides(fine_hg, &coarse_cfg, &mut fine_sides, ml.refine_passes, clock);
+        drop(span);
         if recorder.enabled(Level::Debug) {
             recorder.record(
                 &Event::new("ml", "level", Level::Debug)
@@ -177,12 +186,14 @@ pub fn ml_bipartition_with_clock(
     let mut fine_sides = chain[0].project_sides(&sides);
     let projected_cut = cut_of_sides(hg, &fine_sides);
     let t0 = Instant::now();
+    let span = Span::enter_with(recorder, "ml", "level", "level", 0u64);
     let mut result = if cfg.replication == ReplicationMode::None {
         let (p, stop) = refine_sides(hg, cfg, &mut fine_sides, cfg.max_passes, clock);
         result_from_sides(hg, cfg, &fine_sides, p, stop)
     } else {
         bipartition_from_sides(hg, cfg, &fine_sides, clock)
     };
+    drop(span);
     if recorder.enabled(Level::Debug) {
         recorder.record(
             &Event::new("ml", "level", Level::Debug)
@@ -252,7 +263,9 @@ pub fn ml_kway_partition_with_clock(
     clock: &RunClock,
 ) -> Result<KWayResult, PartitionError> {
     let recorder = clock.recorder();
+    let chain_span = Span::enter(recorder, "ml", "chain");
     let chain = build_chain_traced(hg, ml, cfg.replication, cfg.seed, recorder);
+    drop(chain_span);
     if chain.is_empty() {
         return kway_partition_with_clock(hg, cfg, clock);
     }
@@ -260,7 +273,10 @@ pub fn ml_kway_partition_with_clock(
     let mut coarse_cfg = cfg.clone();
     coarse_cfg.replication = ReplicationMode::None;
     let coarsest = &chain[chain.len() - 1].hg;
-    let mut result = kway_partition_with_clock(coarsest, &coarse_cfg, clock)?;
+    let initial_span = Span::enter(recorder, "ml", "initial");
+    let carved = kway_partition_with_clock(coarsest, &coarse_cfg, clock);
+    drop(initial_span);
+    let mut result = carved?;
     let lib = result.effective_library(&cfg.library);
 
     let mut placement = result.placement.clone();
@@ -269,6 +285,7 @@ pub fn ml_kway_partition_with_clock(
         let projected = chain[i].project_placement(fine_hg, &placement);
         let projected_cut = projected.cut_size(fine_hg);
         let t0 = Instant::now();
+        let span = Span::enter_with(recorder, "ml", "level", "level", i as u64);
         placement = projected;
         refine_kway(
             fine_hg,
@@ -277,6 +294,7 @@ pub fn ml_kway_partition_with_clock(
             &lib,
             ml.refine_passes,
         );
+        drop(span);
         if recorder.enabled(Level::Debug) {
             recorder.record(
                 &Event::new("ml", "level", Level::Debug)

@@ -23,7 +23,7 @@ use std::io::Write;
 use std::sync::Mutex;
 
 /// Appends a JSON string literal (quoted, escaped) to `out`.
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

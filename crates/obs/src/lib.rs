@@ -10,6 +10,17 @@
 //! parallel work), and [`Tee`] (fan-out). [`NOOP`] makes the disabled
 //! path near-free: one virtual bool probe per instrumentation site.
 //!
+//! On top of the event stream sit three operational layers:
+//!
+//! * [`Span`] guards plus the [`Profile`] aggregator and
+//!   [`ProfileRecorder`] fold paired `span.enter`/`span.exit` events
+//!   into an inclusive/exclusive self-time tree (`--profile-out`);
+//! * [`MetricsRegistry`] keeps live service counters, gauges and
+//!   log-bucketed latency histograms with Prometheus text exposition
+//!   (`<spool>/metrics.prom`, `netpart serve-status`);
+//! * [`trace`] validates, summarizes and diff-checks trace documents
+//!   (`netpart trace <summarize|validate|diff>`).
+//!
 //! ## Determinism contract
 //!
 //! For a fixed seed, the trace stream is byte-identical at every
@@ -30,9 +41,15 @@
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
+pub mod registry;
+pub mod trace;
 
 pub use event::{Event, Kind, Level, Value, TIMING_SCOPE};
 pub use jsonl::{strip_timing, to_json_line, to_jsonl, JsonlRecorder};
 pub use metrics::{MetricsRecorder, MetricsSnapshot};
+pub use profile::{Profile, ProfileNode, ProfileRecorder};
 pub use recorder::{BufferRecorder, NoopRecorder, Recorder, Span, StderrRecorder, Tee, NOOP};
+pub use registry::{parse_prometheus, quantile_of, LatencyHist, MetricsRegistry, PromText};
+pub use trace::{diff_stripped, parse_json, scan_trace, StripDiff, TraceScan, TraceSummary};

@@ -252,6 +252,48 @@ mod tests {
     }
 
     #[test]
+    fn hist_merge_handles_mismatched_bin_counts() {
+        let mut s = MetricsSnapshot::new();
+        // Longer observation grows the stored histogram...
+        s.merge_hist("h", &[1, 1]);
+        s.merge_hist("h", &[0, 0, 0, 5]);
+        assert_eq!(s.hists["h"], vec![1, 1, 0, 5]);
+        // ...and a shorter one sums into the prefix without truncating.
+        s.merge_hist("h", &[7]);
+        assert_eq!(s.hists["h"], vec![8, 1, 0, 5]);
+        // Empty observations still create (or keep) the entry.
+        s.merge_hist("h", &[]);
+        s.merge_hist("empty", &[]);
+        assert_eq!(s.hists["h"], vec![8, 1, 0, 5]);
+        assert_eq!(s.hists["empty"], Vec::<u64>::new());
+    }
+
+    #[test]
+    fn gauge_last_write_wins_under_tee_and_buffer_replay() {
+        use crate::recorder::{BufferRecorder, Tee};
+        use std::sync::Arc;
+        // A gauge teed to two sinks keeps the same final value in both.
+        let a = Arc::new(MetricsRecorder::new());
+        let b = Arc::new(MetricsRecorder::new());
+        let tee = Tee::new().with(a.clone()).with(b.clone());
+        tee.record(&Event::gauge("paper", "kbar", 0.5));
+        tee.record(&Event::gauge("paper", "kbar", 0.25));
+        assert_eq!(a.snapshot().gauges["paper.kbar"], 0.25);
+        assert_eq!(b.snapshot().gauges["paper.kbar"], 0.25);
+        // Buffered capture + ordered replay (the parallel-emitter
+        // discipline) preserves write order, so last-write-wins gives
+        // the same answer as direct recording.
+        let buf = BufferRecorder::new();
+        buf.record(&Event::gauge("paper", "kbar", 0.5));
+        buf.record(&Event::gauge("paper", "kbar", 0.125));
+        let replayed = MetricsRecorder::new();
+        for e in buf.take() {
+            replayed.record(&e);
+        }
+        assert_eq!(replayed.snapshot().gauges["paper.kbar"], 0.125);
+    }
+
+    #[test]
     fn timing_fields_fold_into_timing_section() {
         let m = MetricsRecorder::new();
         m.record(

@@ -16,7 +16,7 @@
 //! hot_path(&NOOP, 42);
 //! ```
 
-use crate::event::{Event, Level};
+use crate::event::{Event, Level, Value};
 use std::io::Write as _;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -247,27 +247,68 @@ impl Recorder for BufferRecorder {
 }
 
 /// A hierarchical span: emits `span.enter` on creation and `span.exit`
-/// (with the elapsed milliseconds in the timing sub-object) when
-/// dropped. Nesting is expressed by emission order: an exit always
-/// pairs with the nearest unmatched enter of the same scope/label.
+/// (with the elapsed time in the timing sub-object, both in
+/// milliseconds and — for the profiler's precision — microseconds)
+/// when dropped. Nesting is expressed by emission order: an exit
+/// always pairs with the nearest unmatched enter of the same
+/// scope/label, and the whole stream is LIFO-balanced outside the
+/// reserved [`TIMING_SCOPE`](crate::TIMING_SCOPE) (guards cannot
+/// overlap; parallel emitters replay their buffers sequentially).
+///
+/// The enter/exit events themselves are deterministic — only the
+/// elapsed measurements ride in the stripped `timing` sub-object — so
+/// span-bearing traces keep the byte-identical-across-`--jobs`
+/// contract. Spans whose *presence* depends on scheduling must use
+/// [`TIMING_SCOPE`](crate::TIMING_SCOPE) as their scope like any other
+/// timeline event.
 #[derive(Debug)]
 pub struct Span<'a> {
     recorder: &'a dyn Recorder,
     scope: &'static str,
     label: &'static str,
+    detail: Option<(&'static str, Value)>,
     t0: Instant,
 }
 
 impl<'a> Span<'a> {
     /// Enters a span (emits `span.enter` at [`Level::Debug`]).
     pub fn enter(recorder: &'a dyn Recorder, scope: &'static str, label: &'static str) -> Self {
+        Self::build(recorder, scope, label, None)
+    }
+
+    /// Enters a span carrying one deterministic detail field (a
+    /// multilevel rung number, a job id) that discriminates otherwise
+    /// identically labelled spans; the field is echoed on both the
+    /// enter and the exit event, and the profiler keys tree nodes by
+    /// it (`scope/label#detail`).
+    pub fn enter_with(
+        recorder: &'a dyn Recorder,
+        scope: &'static str,
+        label: &'static str,
+        key: &'static str,
+        value: impl Into<Value>,
+    ) -> Self {
+        Self::build(recorder, scope, label, Some((key, value.into())))
+    }
+
+    fn build(
+        recorder: &'a dyn Recorder,
+        scope: &'static str,
+        label: &'static str,
+        detail: Option<(&'static str, Value)>,
+    ) -> Self {
         if recorder.enabled(Level::Debug) {
-            recorder.record(&Event::new(scope, "span.enter", Level::Debug).field("span", label));
+            let mut e = Event::new(scope, "span.enter", Level::Debug).field("span", label);
+            if let Some((k, v)) = &detail {
+                e = e.field(k, v.clone());
+            }
+            recorder.record(&e);
         }
         Span {
             recorder,
             scope,
             label,
+            detail,
             t0: Instant::now(),
         }
     }
@@ -276,10 +317,14 @@ impl<'a> Span<'a> {
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if self.recorder.enabled(Level::Debug) {
+            let elapsed = self.t0.elapsed();
+            let mut e = Event::new(self.scope, "span.exit", Level::Debug).field("span", self.label);
+            if let Some((k, v)) = &self.detail {
+                e = e.field(k, v.clone());
+            }
             self.recorder.record(
-                &Event::new(self.scope, "span.exit", Level::Debug)
-                    .field("span", self.label)
-                    .timing("elapsed_ms", self.t0.elapsed().as_millis() as u64),
+                &e.timing("elapsed_ms", elapsed.as_millis() as u64)
+                    .timing("elapsed_us", elapsed.as_micros() as u64),
             );
         }
     }
@@ -365,7 +410,33 @@ mod tests {
         );
         // Exit carries elapsed time in the timing sub-object only.
         assert!(evs[2].timing.iter().any(|(k, _)| *k == "elapsed_ms"));
+        assert!(evs[2].timing.iter().any(|(k, _)| *k == "elapsed_us"));
         assert!(evs[2].fields.iter().all(|(k, _)| *k != "elapsed_ms"));
+    }
+
+    #[test]
+    fn span_detail_rides_both_enter_and_exit() {
+        let b = BufferRecorder::new();
+        {
+            let _s = Span::enter_with(&b, "ml", "level", "level", 3u64);
+        }
+        let evs = b.take();
+        assert_eq!(evs.len(), 2);
+        for e in &evs {
+            assert_eq!(e.fields[0], ("span", crate::event::Value::Str("level".into())));
+            assert_eq!(e.fields[1], ("level", crate::event::Value::U64(3)));
+        }
+        assert!(evs[0].timing.is_empty(), "enter carries no timing");
+    }
+
+    #[test]
+    fn span_against_disabled_recorder_emits_nothing() {
+        let _s = Span::enter(&NOOP, "engine", "run"); // must not panic
+        let shallow = BufferRecorder::mirroring(&StderrRecorder::new(Level::Info));
+        {
+            let _s = Span::enter(&shallow, "engine", "run");
+        }
+        assert!(shallow.is_empty(), "Debug spans drop below an Info sink");
     }
 
     #[test]

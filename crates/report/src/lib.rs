@@ -220,6 +220,56 @@ pub fn metrics_table(title: impl Into<String>, snap: &netpart_obs::MetricsSnapsh
     t
 }
 
+/// Renders a folded span [`Profile`](netpart_obs::Profile) as a
+/// flame-style [`Table`]: one row per tree node in depth-first order,
+/// the phase name indented two spaces per nesting level, with the pair
+/// count, inclusive and exclusive milliseconds, and the inclusive share
+/// of the measured wall window. A final `(wall)` row anchors the
+/// percentages. Phase cells are padded to a common width so the
+/// indentation survives the table's right alignment.
+pub fn profile_table(title: impl Into<String>, profile: &netpart_obs::Profile) -> Table {
+    fn ms(us: u64) -> String {
+        format!("{:.1}", us as f64 / 1000.0)
+    }
+    fn walk(node: &netpart_obs::ProfileNode, depth: usize, wall: u64, rows: &mut Vec<[String; 5]>) {
+        let share = if wall > 0 {
+            format!("{:.1}", 100.0 * node.incl_us as f64 / wall as f64)
+        } else {
+            "-".into()
+        };
+        rows.push([
+            format!("{}{}", "  ".repeat(depth), node.name),
+            node.count.to_string(),
+            ms(node.incl_us),
+            ms(node.excl_us()),
+            share,
+        ]);
+        for child in &node.children {
+            walk(child, depth + 1, wall, rows);
+        }
+    }
+    let wall = profile.total_wall_us;
+    let mut rows = Vec::new();
+    for root in &profile.roots {
+        walk(root, 0, wall, &mut rows);
+    }
+    rows.push([
+        "(wall)".into(),
+        String::new(),
+        ms(wall),
+        String::new(),
+        if wall > 0 { "100.0".into() } else { "-".into() },
+    ]);
+    let name_width = rows.iter().map(|r| r[0].len()).max().unwrap_or(0);
+    let mut t = Table::new(title, &["Phase", "Count", "Incl (ms)", "Excl (ms)", "% wall"]);
+    for mut row in rows {
+        // Trailing pad: equal-length phase cells defeat right alignment.
+        row[0] = format!("{:<name_width$}", row[0]);
+        t.row(row);
+    }
+    t
+}
+
 /// Renders certificate-verification findings as a [`Table`] — one
 /// `Code | Detail` row per violation, in detection order. The report
 /// crate stays decoupled from the verifier (same pattern as
@@ -402,6 +452,47 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[3].len(), lines[4].len(), "misaligned:\n{s}");
         assert!(lines[4].ends_with(&format!("{} ", u64::MAX)));
+    }
+
+    #[test]
+    fn profile_table_flame_rows_and_wall_anchor() {
+        use netpart_obs::{Profile, ProfileNode};
+        let p = Profile {
+            total_wall_us: 2000,
+            roots: vec![ProfileNode {
+                name: "engine/run".into(),
+                count: 1,
+                incl_us: 1500,
+                children: vec![ProfileNode {
+                    name: "fm/pass".into(),
+                    count: 3,
+                    incl_us: 900,
+                    children: vec![],
+                }],
+            }],
+        };
+        let t = profile_table("span profile", &p);
+        assert_eq!(t.n_rows(), 3, "two nodes plus the (wall) row");
+        let s = t.to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        // Child indented under its parent, both left-anchored in the
+        // padded phase column.
+        let parent = lines[3].find("engine/run").expect("parent row");
+        let child = lines[4].find("fm/pass").expect("child row");
+        assert_eq!(child, parent + 2, "flame indent:\n{s}");
+        // Shares are relative to the wall window: 1500/2000 and 900/2000.
+        assert!(lines[3].contains("75.0") && lines[4].contains("45.0"));
+        assert!(lines[5].contains("(wall)") && lines[5].contains("100.0"));
+        // Exclusive time of the parent excludes the child.
+        assert!(lines[3].contains("0.6"), "excl 600us -> 0.6ms:\n{s}");
+    }
+
+    #[test]
+    fn profile_table_empty_profile_and_zero_wall() {
+        let t = profile_table("span profile", &netpart_obs::Profile::default());
+        assert_eq!(t.n_rows(), 1, "just the (wall) row");
+        let csv = t.to_csv();
+        assert!(csv.contains("(wall),,0.0,,-"), "csv was:\n{csv}");
     }
 
     #[test]

@@ -36,11 +36,13 @@ use netpart_engine::{bipartition_key, kway_key, Engine, Fnv1a};
 use netpart_fpga::DeviceLibrary;
 use netpart_hypergraph::Hypergraph;
 use netpart_netlist::parse_blif;
-use netpart_obs::{Event, Level, NoopRecorder, Recorder};
+use netpart_obs::{Event, Level, MetricsRegistry, NoopRecorder, Recorder, Span, Tee, TIMING_SCOPE};
 use netpart_techmap::{decompose_wide_gates, map, MapperConfig};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Serve-loop configuration.
 #[derive(Clone, Debug)]
@@ -273,6 +275,12 @@ pub struct Server {
     cache: DiskCache,
     inj: Injector,
     recorder: Arc<dyn Recorder>,
+    registry: Arc<MetricsRegistry>,
+    /// Claim instants of in-flight jobs, for claim-to-done latency.
+    claimed_at: HashMap<String, Instant>,
+    /// Registry version last written to `metrics.prom` (skip idle rounds).
+    metrics_version: u64,
+    last_queue_depth: Option<usize>,
     report: ServeReport,
     round: u64,
 }
@@ -301,6 +309,15 @@ impl Server {
         let queue = QueueState::replay(recovery.records.iter().map(|(_, r)| r));
         let cache = DiskCache::open(&spool.join("cache"))?;
         let recorder = recorder.unwrap_or_else(|| Arc::new(NoopRecorder));
+        // The metrics registry rides in a tee next to the caller's
+        // recorder: every serve.* event feeds the operational surface
+        // exposed at `<spool>/metrics.prom` and `netpart serve-status`.
+        let registry = Arc::new(MetricsRegistry::for_scope("serve"));
+        let recorder: Arc<dyn Recorder> = Arc::new(
+            Tee::new()
+                .with(recorder)
+                .with(registry.clone() as Arc<dyn Recorder>),
+        );
         let inj = Injector::new(cfg.fault.clone(), cfg.crash_mode);
         let interrupted = queue.jobs().filter(|e| e.interrupted).count();
         let (done, quarantined) = queue.terminal_counts();
@@ -312,6 +329,10 @@ impl Server {
             cache,
             inj,
             recorder,
+            registry,
+            claimed_at: HashMap::new(),
+            metrics_version: u64::MAX,
+            last_queue_depth: None,
             report: ServeReport {
                 done,
                 quarantined,
@@ -346,6 +367,12 @@ impl Server {
     /// Progress counters so far.
     pub fn report(&self) -> &ServeReport {
         &self.report
+    }
+
+    /// The live service metrics registry (snapshotted to
+    /// `<spool>/metrics.prom` after every scheduler round).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Runs the serve loop. In drain mode ([`ServeConfig::drain`] or a
@@ -385,6 +412,12 @@ impl Server {
                     }
                 }
             } else {
+                // Round spans live on the scheduling timeline (their
+                // count depends on backoff/watch pacing): reserved
+                // scope, stripped whole-line by determinism checks.
+                let recorder = Arc::clone(&self.recorder);
+                let round_span =
+                    Span::enter_with(recorder.as_ref(), TIMING_SCOPE, "round", "round", self.round);
                 for job in eligible {
                     if self.drain_requested() {
                         drained = true;
@@ -392,7 +425,9 @@ impl Server {
                     }
                     self.execute_one(&job)?;
                 }
+                drop(round_span);
             }
+            self.expose_metrics();
             if drained {
                 self.report.drained = true;
                 self.recorder.record(
@@ -400,6 +435,7 @@ impl Server {
                         .field("round", self.round)
                         .field("pending", self.queue.open_count()),
                 );
+                self.expose_metrics();
                 break;
             }
         }
@@ -408,6 +444,32 @@ impl Server {
 
     fn drain_requested(&self) -> bool {
         self.spool.join("drain").exists()
+    }
+
+    /// Snapshots the registry to `<spool>/metrics.prom` (Prometheus
+    /// text format, atomic rename). Skipped when nothing changed since
+    /// the last write; best-effort — an unwritable metrics file must
+    /// never fail the serve loop. Deliberately bypasses the fault
+    /// injector: exposition is not part of the durability contract, and
+    /// routing it through `inj` would shift the injection indices the
+    /// recovery matrix pins.
+    fn expose_metrics(&mut self) {
+        let depth = self.queue.open_count();
+        if self.last_queue_depth != Some(depth) {
+            self.last_queue_depth = Some(depth);
+            self.registry
+                .set_gauge("netpart_serve_queue_depth", depth as f64);
+        }
+        let version = self.registry.version();
+        if version == self.metrics_version {
+            return;
+        }
+        self.metrics_version = version;
+        let _ = atomic_write(
+            &self.spool.join("metrics.prom"),
+            self.registry.to_prometheus().as_bytes(),
+            &Injector::none(),
+        );
     }
 
     /// Journals `submit` for every job file the journal has not seen
@@ -490,12 +552,17 @@ impl Server {
                 .field("job", job.to_string())
                 .field("attempt", attempt),
         );
+        self.claimed_at.insert(job.to_string(), Instant::now());
         self.inj.crash_point("claim")?;
         self.report.executed += 1;
 
+        let recorder = Arc::clone(&self.recorder);
+        let span =
+            Span::enter_with(recorder.as_ref(), "serve", "execute", "job", job.to_string());
         let outcome = self
             .prepare(job)
             .and_then(|prep| self.attempt(job, attempt, &prep));
+        drop(span);
         match outcome {
             Ok(()) => Ok(()),
             Err(err @ ServeError::CrashInjected { .. }) => Err(err),
@@ -601,13 +668,18 @@ impl Server {
             key: prep.key,
         })?;
         self.report.done += 1;
-        self.recorder.record(
-            &Event::new("serve", "done", Level::Info)
-                .field("job", job.to_string())
-                .field("attempt", attempt)
-                .field("cached", cached)
-                .field("key", format!("{:016x}", prep.key)),
-        );
+        let mut done = Event::new("serve", "done", Level::Info)
+            .field("job", job.to_string())
+            .field("attempt", attempt)
+            .field("cached", cached)
+            .field("key", format!("{:016x}", prep.key));
+        if let Some(t0) = self.claimed_at.remove(job) {
+            // Claim-to-done latency: scheduling data, so it rides the
+            // stripped timing sub-object (and feeds the registry's
+            // latency histogram).
+            done = done.timing("latency_ms", t0.elapsed().as_millis() as u64);
+        }
+        self.recorder.record(&done);
         self.inj.crash_point("done")?;
         Ok(())
     }

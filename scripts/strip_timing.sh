@@ -22,4 +22,10 @@ if [[ $# -ne 1 ]]; then
   exit 2
 fi
 
+if [[ ! -f "$1" ]]; then
+  echo "error: no such trace file: $1" >&2
+  echo "usage: $0 trace.jsonl > trace.stripped.jsonl" >&2
+  exit 2
+fi
+
 awk '!/"scope":"timing"/ { sub(/,"timing":\{.*\}\}$/, "}"); print }' "$1"

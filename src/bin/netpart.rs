@@ -16,6 +16,10 @@
 //! netpart serve       <spool-dir> [--drain] [--jobs N] [--max-queue N]
 //!                     [--max-retries N] [--backoff-base R] [--poll-ms MS]
 //!                     [--budget-ms MS] [--seed S]
+//! netpart serve-status <spool-dir>
+//! netpart trace       summarize <trace.jsonl>
+//! netpart trace       validate  <trace.jsonl>
+//! netpart trace       diff      <a.jsonl> <b.jsonl>
 //! netpart submit      <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID]
 //!                     [job flags: --seed --runs --epsilon --candidates --tasks
 //!                      --replication --threshold --budget-ms --max-retries]
@@ -41,7 +45,21 @@
 //! * `--metrics-out <path>` — write an end-of-run metrics snapshot
 //!   (counters, paper-metric gauges `$_k`/`k̄`, histograms) as pretty
 //!   JSON, suitable as a `BENCH_*.json` artifact.
+//! * `--profile-out <path>` — write the folded span profile (the
+//!   inclusive/exclusive self-time tree over `fm`/`ml`/`engine`/`serve`
+//!   spans) as pretty JSON; with `-v` the flame-style table also prints
+//!   to stderr.
 //! * `-v` / `-vv` — human-readable events on stderr (Info / Trace).
+//!
+//! `netpart trace <summarize|validate|diff>` operates on written trace
+//! files: `validate` checks every line against the event schema (exit 2
+//! on violations), `summarize` prints per-scope event/counter/span
+//! tables, and `diff` compares two traces after stripping timing (exit
+//! 1 at the first divergence) — the native form of the
+//! `scripts/strip_timing.sh` determinism check. `netpart serve-status
+//! <spool>` renders the service's latest `metrics.prom` exposition
+//! (queue depth, claim-to-done latency quantiles, retry/quarantine/
+//! cache counters).
 //!
 //! Any of these flags routes `bipartition`/`kway` through the portfolio
 //! engine even at `--jobs 1`, so the emission pipeline — and therefore
@@ -110,9 +128,13 @@
 
 use netpart::core::{refine_kway, unreplicate_cleanup};
 use netpart::engine::WorkerStats;
-use netpart::obs::StderrRecorder;
+use netpart::obs::{
+    diff_stripped, parse_prometheus, quantile_of, scan_trace, ProfileRecorder, StderrRecorder,
+};
 use netpart::prelude::*;
-use netpart::report::{metrics_table, violation_table, worker_table, WorkerRow};
+use netpart::report::{
+    metrics_table, profile_table, violation_table, worker_table, Table, WorkerRow,
+};
 use netpart::serve::{
     atomic_write, CrashMode, Injector, JobState, QueueState, ServeError, Wal,
 };
@@ -124,7 +146,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [-v|-vv]\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S] [--rent P]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart serve-status <spool-dir>\n  netpart trace summarize <trace.jsonl>\n  netpart trace validate <trace.jsonl>\n  netpart trace diff <a.jsonl> <b.jsonl>\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S] [--rent P]"
     );
     std::process::exit(2)
 }
@@ -151,6 +173,7 @@ struct Flags {
     verbose: u8,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    profile_out: Option<String>,
     certify_out: Option<String>,
     netlist: Option<String>,
     // Service-mode flags (serve / submit / queue).
@@ -190,6 +213,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         verbose: 0,
         trace_out: None,
         metrics_out: None,
+        profile_out: None,
         certify_out: None,
         netlist: None,
         id: None,
@@ -230,6 +254,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "-vv" => f.verbose += 2,
             "--trace-out" => f.trace_out = Some(val()?.clone()),
             "--metrics-out" => f.metrics_out = Some(val()?.clone()),
+            "--profile-out" => f.profile_out = Some(val()?.clone()),
             "--certify-out" => f.certify_out = Some(val()?.clone()),
             "--netlist" => f.netlist = Some(val()?.clone()),
             "--refine" => f.refine = true,
@@ -260,6 +285,7 @@ struct Obs {
     recorder: Arc<dyn Recorder>,
     jsonl: Option<Arc<JsonlRecorder>>,
     metrics: Option<Arc<MetricsRecorder>>,
+    profile: Option<Arc<ProfileRecorder>>,
     t0: Instant,
 }
 
@@ -268,7 +294,10 @@ impl Obs {
     /// routes through the portfolio engine even at `--jobs 1`, so the
     /// emission pipeline is identical at every jobs level.
     fn active(f: &Flags) -> bool {
-        f.verbose > 0 || f.trace_out.is_some() || f.metrics_out.is_some()
+        f.verbose > 0
+            || f.trace_out.is_some()
+            || f.metrics_out.is_some()
+            || f.profile_out.is_some()
     }
 
     fn from_flags(f: &Flags) -> Result<Obs, Box<dyn Error>> {
@@ -291,6 +320,12 @@ impl Obs {
             tee = tee.with(Arc::clone(&m) as Arc<dyn Recorder>);
             metrics = Some(m);
         }
+        let mut profile = None;
+        if f.profile_out.is_some() {
+            let p = Arc::new(ProfileRecorder::new());
+            tee = tee.with(Arc::clone(&p) as Arc<dyn Recorder>);
+            profile = Some(p);
+        }
         if f.verbose > 0 {
             let max = if f.verbose >= 2 {
                 Level::Trace
@@ -303,6 +338,7 @@ impl Obs {
             recorder: Arc::new(tee),
             jsonl,
             metrics,
+            profile,
             t0: Instant::now(),
         })
     }
@@ -320,6 +356,16 @@ impl Obs {
     ) -> Result<(), Box<dyn Error>> {
         if let Some(j) = &self.jsonl {
             j.commit()?;
+        }
+        if let Some(p) = &self.profile {
+            let prof = p.profile();
+            if let Some(out) = &f.profile_out {
+                atomic_write(Path::new(out), prof.to_json().as_bytes(), &Injector::none())?;
+                eprintln!("profile written to {out}");
+            }
+            if f.verbose > 0 {
+                eprintln!("{}", profile_table("span profile", &prof));
+            }
         }
         if let Some(m) = &self.metrics {
             let mut snap = m.snapshot();
@@ -854,6 +900,155 @@ fn cmd_queue(spool: &str) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// A trace that failed schema validation or a determinism diff that
+/// found a divergence; carries the exit code `main` should use.
+#[derive(Debug)]
+struct TraceTrouble(String, i32);
+
+impl std::fmt::Display for TraceTrouble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for TraceTrouble {}
+
+/// `netpart trace <summarize|validate|diff>`: native tooling over
+/// `--trace-out` JSONL documents.
+///
+/// * `validate` checks every line against the event schema (key order,
+///   levels, kinds, flat fields, timing-last, span balance) and exits
+///   `2` listing the violations;
+/// * `summarize` prints per-scope event, counter and span tables;
+/// * `diff` compares two traces after stripping scheduling timing —
+///   the determinism contract check — and exits `1` at the first
+///   divergent line.
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let read = |path: &String| -> Result<String, Box<dyn Error>> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}").into())
+    };
+    match args {
+        [sub, path] if sub == "validate" => {
+            let scan = scan_trace(&read(path)?);
+            if scan.is_valid() {
+                println!(
+                    "ok: {} line(s), {} span label(s), no schema violations",
+                    scan.summary.lines,
+                    scan.summary.spans.len()
+                );
+                Ok(())
+            } else {
+                for e in &scan.errors {
+                    eprintln!("{path}: {e}");
+                }
+                Err(Box::new(TraceTrouble(
+                    format!("{path}: {} schema violation(s)", scan.errors.len()),
+                    2,
+                )))
+            }
+        }
+        [sub, path] if sub == "summarize" => {
+            let scan = scan_trace(&read(path)?);
+            let s = &scan.summary;
+            let by_level: Vec<String> = s
+                .levels
+                .iter()
+                .map(|(level, n)| format!("{n} {level}"))
+                .collect();
+            println!("{path}: {} line(s) ({})", s.lines, by_level.join(", "));
+            let mut events = Table::new("events", &["Event", "Count"]);
+            for (k, n) in &s.events {
+                events.row([k.clone(), n.to_string()]);
+            }
+            println!("{events}");
+            if !s.counters.is_empty() {
+                let mut counters = Table::new("counters", &["Counter", "Total"]);
+                for (k, n) in &s.counters {
+                    counters.row([k.clone(), n.to_string()]);
+                }
+                println!("{counters}");
+            }
+            if !s.spans.is_empty() {
+                let mut spans = Table::new("spans", &["Span", "Count", "Total (ms)"]);
+                for (k, agg) in &s.spans {
+                    spans.row([
+                        k.clone(),
+                        agg.count.to_string(),
+                        format!("{:.1}", agg.total_us as f64 / 1000.0),
+                    ]);
+                }
+                println!("{spans}");
+            }
+            if !scan.errors.is_empty() {
+                eprintln!(
+                    "warning: {} schema violation(s); run `netpart trace validate {path}`",
+                    scan.errors.len()
+                );
+            }
+            Ok(())
+        }
+        [sub, a, b] if sub == "diff" => match diff_stripped(&read(a)?, &read(b)?) {
+            None => {
+                println!("identical after timing strip");
+                Ok(())
+            }
+            Some(d) => {
+                eprintln!("stripped traces diverge at line {}:", d.line);
+                eprintln!("  {a}: {}", d.left.as_deref().unwrap_or("<end of trace>"));
+                eprintln!("  {b}: {}", d.right.as_deref().unwrap_or("<end of trace>"));
+                Err(Box::new(TraceTrouble(
+                    format!("traces diverge at stripped line {}", d.line),
+                    1,
+                )))
+            }
+        },
+        _ => usage(),
+    }
+}
+
+/// `netpart serve-status <spool>`: renders the service's latest
+/// `metrics.prom` exposition — counters, gauges and latency-histogram
+/// quantiles — as tables. The file is rewritten atomically by the
+/// server after every scheduler round that changed a metric, so this
+/// reads a consistent snapshot of a live service.
+fn cmd_serve_status(spool: &str) -> Result<(), Box<dyn Error>> {
+    let path = Path::new(spool).join("metrics.prom");
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (has the server run in this spool?)",
+            path.display()
+        )
+    })?;
+    let prom = parse_prometheus(&text)?;
+    let mut t = Table::new(format!("service metrics ({spool})"), &["Metric", "Kind", "Value"]);
+    for (name, ty) in &prom.types {
+        match ty.as_str() {
+            "histogram" => {
+                let cum = prom.cumulative(name);
+                let count = prom.value(&format!("{name}_count")).unwrap_or(0.0);
+                let sum = prom.value(&format!("{name}_sum")).unwrap_or(0.0);
+                t.row([name.clone(), "hist count".into(), format!("{count}")]);
+                t.row([name.clone(), "hist sum".into(), format!("{sum}")]);
+                for q in [0.5, 0.9, 0.99] {
+                    let v = quantile_of(&cum, q)
+                        .map(|ms| format!("<= {ms} ms"))
+                        .unwrap_or_else(|| "-".into());
+                    t.row([name.clone(), format!("p{:.0}", q * 100.0), v]);
+                }
+            }
+            _ => {
+                let v = prom
+                    .value(name)
+                    .map(|v| format!("{v}"))
+                    .unwrap_or_else(|| "-".into());
+                t.row([name.clone(), ty.clone(), v]);
+            }
+        }
+    }
+    println!("{t}");
+    Ok(())
+}
+
 fn cmd_synth(gates: &str, out: Option<&String>, f: &Flags) -> Result<(), Box<dyn Error>> {
     let gates: usize = gates.parse()?;
     let mut cfg = GeneratorConfig::new(gates).with_dff(f.dff).with_seed(f.seed);
@@ -876,6 +1071,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         usage();
+    }
+    // `trace` and `serve-status` take only positionals — dispatch them
+    // before the flag parser can trip over the file arguments.
+    match args[0].as_str() {
+        "trace" => exit_with(cmd_trace(&args[1..])),
+        "serve-status" => exit_with(cmd_serve_status(&args[1])),
+        _ => {}
     }
     // `synth` takes an optional positional output path before the
     // flags; `submit` takes the netlist as a second positional.
@@ -913,19 +1115,37 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        let code = if e.is::<CertificateViolation>() {
-            EXIT_CERTIFICATE_VIOLATION
-        } else if e.is::<QueueFull>() {
-            EXIT_QUEUE_FULL
-        } else if let Some(se) = e.downcast_ref::<ServeError>() {
-            match se {
-                ServeError::Partition(pe) => pe.exit_code(),
-                _ => 1,
-            }
-        } else {
-            e.downcast_ref::<PartitionError>()
-                .map_or(1, PartitionError::exit_code)
-        };
-        std::process::exit(code);
+        std::process::exit(exit_code_of(e.as_ref()));
+    }
+}
+
+/// Maps an error to the pinned exit-code table.
+fn exit_code_of(e: &(dyn Error + 'static)) -> i32 {
+    if e.is::<CertificateViolation>() {
+        EXIT_CERTIFICATE_VIOLATION
+    } else if e.is::<QueueFull>() {
+        EXIT_QUEUE_FULL
+    } else if let Some(t) = e.downcast_ref::<TraceTrouble>() {
+        t.1
+    } else if let Some(se) = e.downcast_ref::<ServeError>() {
+        match se {
+            ServeError::Partition(pe) => pe.exit_code(),
+            _ => 1,
+        }
+    } else {
+        e.downcast_ref::<PartitionError>()
+            .map_or(1, PartitionError::exit_code)
+    }
+}
+
+/// Terminates with the result's mapped exit code (for the subcommands
+/// dispatched before flag parsing).
+fn exit_with(result: Result<(), Box<dyn Error>>) -> ! {
+    match result {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(exit_code_of(e.as_ref()));
+        }
     }
 }
