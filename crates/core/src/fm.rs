@@ -16,7 +16,7 @@ use crate::buckets::GainBuckets;
 use crate::budget::RunClock;
 use crate::config::{BipartitionConfig, ReplicationMode, SelectionStrategy};
 use crate::error::StopReason;
-use crate::state::{CellState, EngineState};
+use crate::state::{pins_contribution, CellState, EngineState};
 use netpart_hypergraph::{CellId, Hypergraph, Placement};
 use netpart_obs::{Event, Level, Span};
 use netpart_rng::Rng;
@@ -340,15 +340,14 @@ fn run_pass_buckets(
     let hg = engine.hypergraph();
     let total0 = hg.total_area();
     let n = hg.n_cells();
+    // Own handle on the CSR arenas so net/neighbor slices stay
+    // borrowable across the engine mutations below.
+    let csr = engine.csr().clone();
 
     // Bucket-array gain bound: a move changes each distinct incident
     // net's cut contribution by at most 1. Pad-weighted gains can
     // exceed it; those ride the exact overflow list.
-    let p_max = hg
-        .cell_ids()
-        .map(|c| EngineState::incident_nets(hg, c).len())
-        .max()
-        .unwrap_or(0) as i64;
+    let p_max = csr.max_cell_degree() as i64;
 
     let build_span = Span::enter(clock.recorder(), "fm", "buckets.build");
     let mut cands: Vec<Candidate> = Vec::new();
@@ -381,7 +380,6 @@ fn run_pass_buckets(
     let mut before: Vec<([u32; 2], [u32; 2])> = Vec::new();
     let mut in_touched = vec![false; n];
     let mut touched: Vec<u32> = Vec::new();
-    let mut seen: Vec<CellId> = Vec::new();
 
     loop {
         let Some((cell, gain, tie)) = buckets.pop() else {
@@ -432,7 +430,7 @@ fn run_pass_buckets(
         }
         let new = cands[bi].state;
         let prev = engine.cell_state(c);
-        let nets = EngineState::incident_nets(hg, c);
+        let nets = csr.nets_of(c);
         before.clear();
         before.extend(nets.iter().map(|&nt| engine.net_counts(nt)));
         if apply_exact(engine, c, new, bg).is_err() {
@@ -461,25 +459,26 @@ fn run_pass_buckets(
         }
         // Incremental gain maintenance: for each incident net whose
         // endpoint counts changed, adjust every unlocked endpoint's
-        // candidates by the difference in that net's contribution.
+        // candidates by the difference in that net's contribution. The
+        // CSR `cells_of` slice is already deduplicated in first-seen
+        // endpoint order, so the touch order matches the old per-move
+        // `seen` scan move for move.
         touched.clear();
         for (i, &nt) in nets.iter().enumerate() {
             let after = engine.net_counts(nt);
             if after == before[i] {
                 continue;
             }
-            seen.clear();
-            for ep in hg.net(nt).endpoints() {
-                let t = ep.cell;
-                if t == c || locked[t.index()] || seen.contains(&t) {
+            for &t in csr.cells_of(nt) {
+                if t == c || locked[t.index()] {
                     continue;
                 }
-                seen.push(t);
                 let cur_t = engine.cell_state(t);
                 let (ts, te) = range[t.index()];
+                let pins = csr.pins_on(t, nt);
                 for cd in &mut cands[ts as usize..te as usize] {
-                    cd.gain += EngineState::net_contribution(hg, t, cur_t, cd.state, nt, after)
-                        - EngineState::net_contribution(hg, t, cur_t, cd.state, nt, before[i]);
+                    cd.gain += pins_contribution(hg, t, cur_t, cd.state, pins, after)
+                        - pins_contribution(hg, t, cur_t, cd.state, pins, before[i]);
                 }
                 if !in_touched[t.index()] {
                     in_touched[t.index()] = true;
@@ -545,13 +544,10 @@ fn run_pass_heap(
     let hg = engine.hypergraph();
     let total0 = hg.total_area();
     let n = hg.n_cells();
+    let csr = engine.csr().clone();
     // Same in-range bound as the bucket ladder: inside it, equal keys
     // order LIFO by insertion sequence; outside, by lowest cell id.
-    let p_max = hg
-        .cell_ids()
-        .map(|c| EngineState::incident_nets(hg, c).len())
-        .max()
-        .unwrap_or(0) as i64;
+    let p_max = csr.max_cell_degree() as i64;
     let ord_of = |gain: i64, cell: u32, seq: u64| -> u64 {
         if (-p_max..=p_max).contains(&gain) {
             seq
@@ -624,7 +620,6 @@ fn run_pass_heap(
     let mut before: Vec<([u32; 2], [u32; 2])> = Vec::new();
     let mut in_touched = vec![false; n];
     let mut touched: Vec<u32> = Vec::new();
-    let mut seen: Vec<CellId> = Vec::new();
 
     loop {
         let Some(e) = heap.pop() else {
@@ -668,7 +663,7 @@ fn run_pass_heap(
             continue;
         }
         let prev = engine.cell_state(c);
-        let nets = EngineState::incident_nets(hg, c);
+        let nets = csr.nets_of(c);
         before.clear();
         before.extend(nets.iter().map(|&nt| engine.net_counts(nt)));
         if apply_exact(engine, c, new, bg).is_err() {
@@ -705,13 +700,10 @@ fn run_pass_heap(
             if engine.net_counts(nt) == before[i] {
                 continue;
             }
-            seen.clear();
-            for ep in hg.net(nt).endpoints() {
-                let t = ep.cell;
-                if t == c || locked[t.index()] || seen.contains(&t) {
+            for &t in csr.cells_of(nt) {
+                if t == c || locked[t.index()] {
                     continue;
                 }
-                seen.push(t);
                 if !in_touched[t.index()] {
                     in_touched[t.index()] = true;
                     touched.push(t.0);

@@ -7,8 +7,16 @@
 //! the ordinary "spans both sides" rule; with traditional replication
 //! (drivers on both sides) output nets drop out of the cut, exactly as
 //! the paper's gain eq. 8 accounts.
+//!
+//! The hot path runs on the flat [`CsrGraph`] arenas (built once per
+//! state, shared via `Arc`): per-net endpoint counts live in one
+//! cache-dense array of packed [`NetCounts`] records, and every
+//! per-move traversal walks contiguous index ranges instead of chasing
+//! the hypergraph's per-cell vectors.
 
+use crate::csr::{decode_pin, CsrGraph};
 use netpart_hypergraph::{CellCopy, CellId, Hypergraph, NetId, PartId, Pin, Placement};
+use std::sync::Arc;
 
 /// Placement/replication state of one cell in a bipartition.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,19 +63,37 @@ pub(crate) fn full_mask(m: usize) -> u32 {
 /// Connection flags of one pin: `conn[s]` = connected on side `s`.
 type Conn = [bool; 2];
 
+/// Per-net connected-endpoint counters, packed so one record (16 bytes,
+/// four per cache line) carries everything a cut/occupancy query needs.
+/// Occupancy is derived (`sink + drv`) rather than stored.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct NetCounts {
+    /// Connected sink endpoints per side.
+    sink: [u32; 2],
+    /// Connected driver endpoints per side (0..=2).
+    drv: [u32; 2],
+}
+
+impl NetCounts {
+    fn occ(self) -> [u32; 2] {
+        [self.sink[0] + self.drv[0], self.sink[1] + self.drv[1]]
+    }
+
+    fn spans(self) -> bool {
+        let o = self.occ();
+        o[0] > 0 && o[1] > 0
+    }
+}
+
 /// The mutable engine state for one bipartition.
 #[derive(Clone, Debug)]
 pub struct EngineState<'a> {
     hg: &'a Hypergraph,
+    /// The flat connectivity arenas the hot path traverses.
+    csr: Arc<CsrGraph>,
     state: Vec<CellState>,
-    /// Connected sink endpoints per net per side.
-    sink_cnt: Vec<[u32; 2]>,
-    /// Connected driver endpoints per net per side (0..=2).
-    drv_cnt: Vec<[u32; 2]>,
-    /// Connected endpoints (sinks + drivers) per net per side — the
-    /// side-occupancy counters the bucket-based FM pass uses to detect
-    /// nets whose criticality may have shifted after a move.
-    occ_cnt: Vec<[u32; 2]>,
+    /// Packed per-net endpoint counts (sinks and drivers per side).
+    counts: Vec<NetCounts>,
     /// Number of nets currently occupied on both sides.
     spanning: usize,
     areas: [u64; 2],
@@ -98,17 +124,28 @@ impl<'a> EngineState<'a> {
     ///
     /// Panics if `sides.len() != hg.n_cells()` or a side is not 0/1.
     pub fn new_weighted(hg: &'a Hypergraph, sides: &[u8], terminal_weight: [i64; 2]) -> Self {
+        Self::with_csr(hg, Arc::new(CsrGraph::build(hg)), sides, terminal_weight)
+    }
+
+    /// [`EngineState::new_weighted`] over pre-built CSR arenas, so
+    /// repeated states on one hypergraph (validation rebuilds, parallel
+    /// refinement snapshots) share the flattening work.
+    pub(crate) fn with_csr(
+        hg: &'a Hypergraph,
+        csr: Arc<CsrGraph>,
+        sides: &[u8],
+        terminal_weight: [i64; 2],
+    ) -> Self {
         assert_eq!(sides.len(), hg.n_cells(), "one side per cell");
         assert!(sides.iter().all(|&s| s < 2), "sides are 0 or 1");
         let mut st = EngineState {
             hg,
+            csr,
             state: sides
                 .iter()
                 .map(|&s| CellState::Single { side: s })
                 .collect(),
-            sink_cnt: vec![[0; 2]; hg.n_nets()],
-            drv_cnt: vec![[0; 2]; hg.n_nets()],
-            occ_cnt: vec![[0; 2]; hg.n_nets()],
+            counts: vec![NetCounts::default(); hg.n_nets()],
             spanning: 0,
             areas: [0; 2],
             cut: 0,
@@ -122,27 +159,36 @@ impl<'a> EngineState<'a> {
                 st.pad_cost += terminal_weight[s];
             }
             let cs = st.state[c.index()];
-            for (net, pin) in Self::cell_pins(hg, c) {
-                let conn = Self::pin_conn(hg, c, cs, pin);
-                for (side, &connected) in conn.iter().enumerate() {
-                    if connected {
-                        match pin {
-                            Pin::Output(_) => st.drv_cnt[net.index()][side] += 1,
-                            Pin::Input(_) => st.sink_cnt[net.index()][side] += 1,
+            for (net, pins) in st.csr.groups(c) {
+                let nc = &mut st.counts[net.index()];
+                for &code in pins {
+                    let pin = decode_pin(code);
+                    let conn = Self::pin_conn(hg, c, cs, pin);
+                    for (side, &connected) in conn.iter().enumerate() {
+                        if connected {
+                            match pin {
+                                Pin::Output(_) => nc.drv[side] += 1,
+                                Pin::Input(_) => nc.sink[side] += 1,
+                            }
                         }
-                        st.occ_cnt[net.index()][side] += 1;
                     }
                 }
             }
         }
-        st.cut = hg.net_ids().filter(|&n| st.is_cut(n)).count();
-        st.spanning = st.occ_cnt.iter().filter(|o| o[0] > 0 && o[1] > 0).count();
+        st.cut = st.counts.iter().filter(|c| c.is_cut()).count();
+        st.spanning = st.counts.iter().filter(|c| c.spans()).count();
         st
     }
 
     /// The underlying hypergraph.
     pub fn hypergraph(&self) -> &'a Hypergraph {
         self.hg
+    }
+
+    /// The shared CSR arenas (cheap to clone; the pass loops hold their
+    /// own handle so slices stay borrowable across state mutations).
+    pub(crate) fn csr(&self) -> &Arc<CsrGraph> {
+        &self.csr
     }
 
     /// Current state of a cell.
@@ -167,22 +213,19 @@ impl<'a> EngineState<'a> {
 
     /// Returns `true` if the net is currently cut.
     pub fn is_cut(&self, net: NetId) -> bool {
-        Self::cut_from(self.sink_cnt[net.index()], self.drv_cnt[net.index()])
-    }
-
-    fn cut_from(sc: [u32; 2], dc: [u32; 2]) -> bool {
-        (0..2).any(|s| sc[s] > 0 && dc[s] == 0 && dc[1 - s] > 0)
+        self.counts[net.index()].is_cut()
     }
 
     /// Connected `(sink, driver)` endpoint counts of a net per side —
     /// the snapshot the incremental bucket pass diffs around a move.
     pub(crate) fn net_counts(&self, net: NetId) -> ([u32; 2], [u32; 2]) {
-        (self.sink_cnt[net.index()], self.drv_cnt[net.index()])
+        let nc = self.counts[net.index()];
+        (nc.sink, nc.drv)
     }
 
     /// Connected endpoints (sinks plus drivers) of a net per side.
     pub fn net_side_occupancy(&self, net: NetId) -> [u32; 2] {
-        self.occ_cnt[net.index()]
+        self.counts[net.index()].occ()
     }
 
     /// Number of nets with connected endpoints on both sides. A
@@ -193,19 +236,10 @@ impl<'a> EngineState<'a> {
         self.spanning
     }
 
-    /// `(net, pin)` pairs of a cell, one per pin.
-    pub(crate) fn cell_pins(hg: &Hypergraph, c: CellId) -> impl Iterator<Item = (NetId, Pin)> + '_ {
-        let cell = hg.cell(c);
-        cell.input_nets()
-            .iter()
-            .enumerate()
-            .map(|(j, &n)| (n, Pin::Input(j as u16)))
-            .chain(
-                cell.output_nets()
-                    .iter()
-                    .enumerate()
-                    .map(|(o, &n)| (n, Pin::Output(o as u16))),
-            )
+    /// The distinct nets incident to a cell, ascending (a contiguous
+    /// CSR slice — no allocation).
+    pub(crate) fn incident_nets(&self, c: CellId) -> &[NetId] {
+        self.csr.nets_of(c)
     }
 
     /// Connection flags of a pin under a hypothetical state.
@@ -246,14 +280,6 @@ impl<'a> EngineState<'a> {
         }
     }
 
-    /// The distinct nets incident to a cell.
-    pub(crate) fn incident_nets(hg: &Hypergraph, c: CellId) -> Vec<NetId> {
-        let mut nets: Vec<NetId> = hg.cell(c).incident_nets().collect();
-        nets.sort_unstable();
-        nets.dedup();
-        nets
-    }
-
     /// The paper's *criticality* of the net on pin `pin` of an
     /// unreplicated cell `c`: whether moving that single pin to the other
     /// side would change the net's cut state (used to build the `Q^I`,
@@ -271,8 +297,9 @@ impl<'a> EngineState<'a> {
             Pin::Input(j) => cell.input_net(j as usize),
             Pin::Output(o) => cell.output_net(o as usize),
         };
-        let (mut sc, mut dc) = (self.sink_cnt[net.index()], self.drv_cnt[net.index()]);
-        let before = Self::cut_from(sc, dc);
+        let nc = self.counts[net.index()];
+        let (mut sc, mut dc) = (nc.sink, nc.drv);
+        let before = cut_from(sc, dc);
         match pin {
             Pin::Input(_) => {
                 sc[s] -= 1;
@@ -283,7 +310,7 @@ impl<'a> EngineState<'a> {
                 dc[1 - s] += 1;
             }
         }
-        Self::cut_from(sc, dc) != before
+        cut_from(sc, dc) != before
     }
 
     /// The objective decrease of moving a terminal cell between sides
@@ -304,39 +331,24 @@ impl<'a> EngineState<'a> {
     /// Contribution of one net to the gain of changing `c` from `old`
     /// to `new`, evaluated against explicit endpoint `counts`: the
     /// net's cut state before minus after applying the pin deltas of
-    /// `c` on `net`.
+    /// `c` on `net` (looked up as a CSR pin group — only that net's
+    /// pins are touched, never the whole cell).
     ///
     /// [`EngineState::peek_gain`] sums this over a cell's incident nets
     /// against the live counts, and the incremental bucket pass
     /// re-evaluates it against before/after count snapshots of the nets
     /// a move touched — so delta-updated candidate gains agree with the
     /// from-scratch gains by construction.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn net_contribution(
-        hg: &Hypergraph,
+        &self,
         c: CellId,
         old: CellState,
         new: CellState,
         net: NetId,
         counts: ([u32; 2], [u32; 2]),
     ) -> i64 {
-        let (mut sc, mut dc) = counts;
-        let before = Self::cut_from(sc, dc);
-        for (n2, pin) in Self::cell_pins(hg, c) {
-            if n2 != net {
-                continue;
-            }
-            let oc = Self::pin_conn(hg, c, old, pin);
-            let nc = Self::pin_conn(hg, c, new, pin);
-            for side in 0..2 {
-                let delta = i64::from(nc[side]) - i64::from(oc[side]);
-                let slot = match pin {
-                    Pin::Output(_) => &mut dc[side],
-                    Pin::Input(_) => &mut sc[side],
-                };
-                *slot = (*slot as i64 + delta) as u32;
-            }
-        }
-        i64::from(before) - i64::from(Self::cut_from(sc, dc))
+        pins_contribution(self.hg, c, old, new, self.csr.pins_on(c, net), counts)
     }
 
     /// The gain (objective decrease: cut plus weighted pad cost) of
@@ -344,8 +356,9 @@ impl<'a> EngineState<'a> {
     pub fn peek_gain(&self, c: CellId, new: CellState) -> i64 {
         let old = self.state[c.index()];
         let mut gain = self.pad_cost_gain(c, old, new);
-        for net in Self::incident_nets(self.hg, c) {
-            gain += Self::net_contribution(self.hg, c, old, new, net, self.net_counts(net));
+        for (net, pins) in self.csr.groups(c) {
+            let nc = self.counts[net.index()];
+            gain += pins_contribution(self.hg, c, old, new, pins, (nc.sink, nc.drv));
         }
         gain
     }
@@ -375,37 +388,45 @@ impl<'a> EngineState<'a> {
         if old == new {
             return 0;
         }
-        let mut gain = self.pad_cost_gain(c, old, new);
-        self.pad_cost -= self.pad_cost_gain(c, old, new);
-        for net in Self::incident_nets(self.hg, c) {
-            let before = self.is_cut(net);
-            let occ = self.occ_cnt[net.index()];
-            let spanned = occ[0] > 0 && occ[1] > 0;
-            for (n2, pin) in Self::cell_pins(self.hg, c) {
-                if n2 != net {
-                    continue;
-                }
-                let oc = Self::pin_conn(self.hg, c, old, pin);
-                let nc = Self::pin_conn(self.hg, c, new, pin);
-                for side in 0..2 {
-                    let delta = i64::from(nc[side]) - i64::from(oc[side]);
-                    let slot = match pin {
-                        Pin::Output(_) => &mut self.drv_cnt[net.index()][side],
-                        Pin::Input(_) => &mut self.sink_cnt[net.index()][side],
-                    };
-                    *slot = (*slot as i64 + delta) as u32;
-                    let occ_slot = &mut self.occ_cnt[net.index()][side];
-                    *occ_slot = (*occ_slot as i64 + delta) as u32;
-                }
-            }
-            let occ = self.occ_cnt[net.index()];
-            let spans = occ[0] > 0 && occ[1] > 0;
-            self.spanning = (self.spanning as i64 + i64::from(spans) - i64::from(spanned)) as usize;
-            let after = self.is_cut(net);
-            gain += i64::from(before) - i64::from(after);
-            self.cut = (self.cut as i64 + i64::from(after) - i64::from(before)) as usize;
-        }
+        let pad_gain = self.pad_cost_gain(c, old, new);
+        self.pad_cost -= pad_gain;
         let ad = self.area_delta(c, new);
+        let mut gain = pad_gain;
+        let hg = self.hg;
+        {
+            // Split borrows: walk the shared CSR groups while mutating
+            // the packed counters in one flat pass per incident net.
+            let Self {
+                ref csr,
+                ref mut counts,
+                ref mut spanning,
+                ref mut cut,
+                ..
+            } = *self;
+            for (net, pins) in csr.groups(c) {
+                let nc = &mut counts[net.index()];
+                let before = nc.is_cut();
+                let spanned = nc.spans();
+                for &code in pins {
+                    let pin = decode_pin(code);
+                    let oc = Self::pin_conn(hg, c, old, pin);
+                    let npc = Self::pin_conn(hg, c, new, pin);
+                    for side in 0..2 {
+                        let delta = i64::from(npc[side]) - i64::from(oc[side]);
+                        let slot = match pin {
+                            Pin::Output(_) => &mut nc.drv[side],
+                            Pin::Input(_) => &mut nc.sink[side],
+                        };
+                        *slot = (*slot as i64 + delta) as u32;
+                    }
+                }
+                let after = nc.is_cut();
+                *spanning =
+                    (*spanning as i64 + i64::from(nc.spans()) - i64::from(spanned)) as usize;
+                gain += i64::from(before) - i64::from(after);
+                *cut = (*cut as i64 + i64::from(after) - i64::from(before)) as usize;
+            }
+        }
         self.areas[0] = (self.areas[0] as i64 + ad[0]) as u64;
         self.areas[1] = (self.areas[1] as i64 + ad[1]) as u64;
         self.state[c.index()] = new;
@@ -466,20 +487,60 @@ impl<'a> EngineState<'a> {
                     | CellState::Traditional { orig_side } => *orig_side,
                 })
                 .collect();
-            let mut f = EngineState::new_weighted(self.hg, &sides, self.terminal_weight);
+            let mut f =
+                EngineState::with_csr(self.hg, self.csr.clone(), &sides, self.terminal_weight);
             for c in self.hg.cell_ids() {
                 f.set_state(c, self.state[c.index()]);
             }
             f
         };
-        fresh.sink_cnt == self.sink_cnt
-            && fresh.drv_cnt == self.drv_cnt
-            && fresh.occ_cnt == self.occ_cnt
+        fresh.counts == self.counts
             && fresh.spanning == self.spanning
             && fresh.cut == self.cut
             && fresh.areas == self.areas
             && fresh.pad_cost == self.pad_cost
     }
+}
+
+impl NetCounts {
+    fn is_cut(self) -> bool {
+        cut_from(self.sink, self.drv)
+    }
+}
+
+/// The uniform cut rule: some side holds a connected sink but no
+/// connected driver while the other side has one.
+fn cut_from(sc: [u32; 2], dc: [u32; 2]) -> bool {
+    (0..2).any(|s| sc[s] > 0 && dc[s] == 0 && dc[1 - s] > 0)
+}
+
+/// Cut-state contribution of one net's pin group to a state change of
+/// `c`: before minus after, applying only the deltas of `pins` (packed
+/// codes of `c`'s pins on that net) to the explicit `counts`.
+pub(crate) fn pins_contribution(
+    hg: &Hypergraph,
+    c: CellId,
+    old: CellState,
+    new: CellState,
+    pins: &[u32],
+    counts: ([u32; 2], [u32; 2]),
+) -> i64 {
+    let (mut sc, mut dc) = counts;
+    let before = cut_from(sc, dc);
+    for &code in pins {
+        let pin = decode_pin(code);
+        let oc = EngineState::pin_conn(hg, c, old, pin);
+        let nc = EngineState::pin_conn(hg, c, new, pin);
+        for side in 0..2 {
+            let delta = i64::from(nc[side]) - i64::from(oc[side]);
+            let slot = match pin {
+                Pin::Output(_) => &mut dc[side],
+                Pin::Input(_) => &mut sc[side],
+            };
+            *slot = (*slot as i64 + delta) as u32;
+        }
+    }
+    i64::from(before) - i64::from(cut_from(sc, dc))
 }
 
 #[cfg(test)]
@@ -632,9 +693,10 @@ mod tests {
             },
         ] {
             let old = st.cell_state(m);
-            let sum: i64 = EngineState::incident_nets(&hg, m)
-                .into_iter()
-                .map(|n| EngineState::net_contribution(&hg, m, old, new, n, st.net_counts(n)))
+            let sum: i64 = st
+                .incident_nets(m)
+                .iter()
+                .map(|&n| st.net_contribution(m, old, new, n, st.net_counts(n)))
                 .sum();
             assert_eq!(sum, st.peek_gain(m, new));
         }

@@ -48,6 +48,11 @@ fn build_chain_traced(
     recorder: &dyn Recorder,
 ) -> Vec<CoarseLevel> {
     let mut chain: Vec<CoarseLevel> = Vec::new();
+    // Dropped to `None` after a ψ-guard stall (see below): guarding
+    // replication candidates is a quality heuristic, not a correctness
+    // requirement, so when it blocks all progress the remaining levels
+    // coarsen with the candidates mergeable like any other cell.
+    let mut level_mode = mode;
     for lvl in 0..ml.max_levels {
         let cur: &Hypergraph = chain.last().map_or(hg, |l| &l.hg);
         if cur.n_cells() < ml.min_cells {
@@ -55,7 +60,42 @@ fn build_chain_traced(
         }
         let t0 = Instant::now();
         let span = Span::enter_with(recorder, "ml", "coarsen", "level", (lvl + 1) as u64);
-        let coarsened = coarsen_once(cur, ml, mode, seed.wrapping_add(lvl as u64));
+        let mut coarsened = coarsen_once(cur, ml, level_mode, seed.wrapping_add(lvl as u64));
+        let shrink_of = |l: &CoarseLevel| l.hg.n_cells() as f64 / cur.n_cells() as f64;
+        // ψ-guard stall: on replication-dense circuits the guard can
+        // exempt so many cells that matching finds no pair (or too few
+        // to shrink the graph), which used to end the chain at full
+        // size — every "coarse" level was the input graph. Detect it,
+        // warn, and retry this and all later levels with the guard off.
+        let stalled = level_mode.replicates()
+            && coarsened
+                .as_ref()
+                .is_none_or(|l| shrink_of(l) > ml.coarsen_ratio);
+        if stalled {
+            let retry = coarsen_once(
+                cur,
+                ml,
+                ReplicationMode::None,
+                seed.wrapping_add(lvl as u64),
+            );
+            if retry.as_ref().is_some_and(|l| shrink_of(l) <= ml.coarsen_ratio) {
+                // Warning-class headline event: the guard was dropped,
+                // trading some replication opportunity for progress.
+                if recorder.enabled(Level::Info) {
+                    recorder.record(
+                        &Event::new("ml", "coarsen_stalled", Level::Info)
+                            .field("level", (lvl + 1) as u64)
+                            .field("cells", cur.n_cells() as u64)
+                            .field(
+                                "matched_guarded",
+                                coarsened.as_ref().map_or(0, |l| l.matched) as u64,
+                            ),
+                    );
+                }
+                level_mode = ReplicationMode::None;
+                coarsened = retry;
+            }
+        }
         drop(span);
         let Some(level) = coarsened else {
             break;

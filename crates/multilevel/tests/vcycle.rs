@@ -107,6 +107,49 @@ fn psi_guarded_cells_survive_coarsening_unmerged() {
 }
 
 #[test]
+fn psi_guard_stall_falls_back_to_unguarded_coarsening() {
+    use netpart_core::RunClock;
+    use netpart_multilevel::{coarsen_once, ml_bipartition_with_clock};
+    use netpart_obs::BufferRecorder;
+    use std::sync::Arc;
+
+    // Threshold 1 guards nearly every multi-output logic cell of an
+    // XC3000-mapped circuit — a replication-heavy synthetic on which
+    // the guarded matcher makes no useful progress. The chain used to
+    // come out empty (a silent stall to the flat path); now the level
+    // must fall back to coarsening with the candidates mergeable, and
+    // say so with a `ml.coarsen_stalled` event.
+    let hg = gen::mapped(700, 50, 3);
+    let ml = small_ml();
+    let mode = ReplicationMode::functional(1);
+    // Precondition: one guarded coarsening step alone stalls (no pair
+    // matched, or too few to shrink the graph).
+    let stalled = coarsen_once(&hg, &ml, mode, 3)
+        .is_none_or(|l| l.hg.n_cells() as f64 / hg.n_cells() as f64 > ml.coarsen_ratio);
+    assert!(stalled, "test circuit no longer stalls under the guard");
+    // The fallback makes the chain real again.
+    let chain = build_chain(&hg, &ml, mode, 3);
+    assert!(!chain.is_empty(), "stall fallback must produce a chain");
+    assert!(chain[0].hg.n_cells() < hg.n_cells());
+    // And the stall is reported, not silent.
+    let cfg = BipartitionConfig::equal(&hg, 0.1)
+        .with_seed(3)
+        .with_replication(mode);
+    let buffer = Arc::new(BufferRecorder::new());
+    let clock = RunClock::new(&cfg.budget, &cfg.fault).with_recorder(buffer.clone());
+    let res = ml_bipartition_with_clock(&hg, &cfg, &ml, &clock);
+    assert!(res.balanced);
+    let events = buffer.take();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.scope == "ml" && e.name == "coarsen_stalled"),
+        "no ml.coarsen_stalled event among {} events",
+        events.len()
+    );
+}
+
+#[test]
 fn disabled_multilevel_is_flat_identical() {
     for seed in [11u64, 29, 47] {
         let hg = gen::mapped(350, 30, seed);

@@ -51,5 +51,7 @@ pub use jsonl::{strip_timing, to_json_line, to_jsonl, JsonlRecorder};
 pub use metrics::{MetricsRecorder, MetricsSnapshot};
 pub use profile::{Profile, ProfileNode, ProfileRecorder};
 pub use recorder::{BufferRecorder, NoopRecorder, Recorder, Span, StderrRecorder, Tee, NOOP};
-pub use registry::{parse_prometheus, quantile_of, LatencyHist, MetricsRegistry, PromText};
+pub use registry::{
+    parse_prometheus, quantile_of, LatencyHist, MetricsRegistry, PromText, QuantileBound,
+};
 pub use trace::{diff_stripped, parse_json, scan_trace, StripDiff, TraceScan, TraceSummary};

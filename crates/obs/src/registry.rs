@@ -87,32 +87,55 @@ impl LatencyHist {
     /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket in
     /// which it falls — a conservative estimate, exact to within the
     /// log₂ bucket resolution. Returns `None` for an empty histogram;
-    /// quantiles landing in the +Inf bucket report twice the largest
-    /// finite bound.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
+    /// quantiles landing in the +Inf bucket report
+    /// [`QuantileBound::Overflow`].
+    pub fn quantile(&self, q: f64) -> Option<QuantileBound> {
         quantile_of(&self.cumulative(), q)
+    }
+}
+
+/// A histogram quantile estimate: the upper bound of the bucket the
+/// quantile falls in. A quantile landing in the +Inf bucket has *no*
+/// finite upper bound — it is `Overflow`, rendered `+Inf` per the
+/// Prometheus convention. (Earlier versions reported such quantiles as
+/// twice the largest finite bound, a finite number with no relation to
+/// the actual latencies in the bucket — a dashboard reading it as a
+/// real p99 would underestimate arbitrarily badly.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantileBound {
+    /// The quantile falls in a finite bucket with this upper bound
+    /// (milliseconds for latency histograms).
+    Finite(u64),
+    /// The quantile falls in the +Inf overflow bucket.
+    Overflow,
+}
+
+impl std::fmt::Display for QuantileBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantileBound::Finite(b) => write!(f, "{b}"),
+            QuantileBound::Overflow => write!(f, "+Inf"),
+        }
     }
 }
 
 /// Derives a quantile from a cumulative `(upper_bound, count)` series
 /// (+Inf bound as `None`, as produced by [`LatencyHist::cumulative`] or
 /// parsed back from exposition text).
-pub fn quantile_of(cumulative: &[(Option<u64>, u64)], q: f64) -> Option<u64> {
+pub fn quantile_of(cumulative: &[(Option<u64>, u64)], q: f64) -> Option<QuantileBound> {
     let total = cumulative.last().map(|&(_, c)| c)?;
     if total == 0 || !(0.0..=1.0).contains(&q) {
         return None;
     }
     let target = (q * total as f64).ceil().max(1.0) as u64;
-    let mut last_finite = 1;
     for &(bound, cum) in cumulative {
         if let Some(b) = bound {
-            last_finite = b;
             if cum >= target {
-                return Some(b);
+                return Some(QuantileBound::Finite(b));
             }
         }
     }
-    Some(last_finite.saturating_mul(2))
+    Some(QuantileBound::Overflow)
 }
 
 #[derive(Debug, Default)]
@@ -184,9 +207,8 @@ impl MetricsRegistry {
         self.lock().gauges.get(&sanitize(name)).copied()
     }
 
-    /// A histogram's `q`-quantile in milliseconds (see
-    /// [`LatencyHist::quantile`]).
-    pub fn quantile(&self, name: &str, q: f64) -> Option<u64> {
+    /// A histogram's `q`-quantile (see [`LatencyHist::quantile`]).
+    pub fn quantile(&self, name: &str, q: f64) -> Option<QuantileBound> {
         self.lock().hists.get(&sanitize(name)).and_then(|h| h.quantile(q))
     }
 
@@ -437,12 +459,14 @@ mod tests {
         // 100000ms exceeds the largest finite bound (32768): overflow.
         let cum = h.cumulative();
         assert_eq!(cum.last(), Some(&(None, 7)));
-        assert_eq!(h.quantile(0.5), Some(4), "4 of 7 within <=4ms");
-        assert_eq!(h.quantile(0.7), Some(8), "5 of 7 within <=8ms");
+        assert_eq!(h.quantile(0.5), Some(QuantileBound::Finite(4)), "4 of 7 within <=4ms");
+        assert_eq!(h.quantile(0.7), Some(QuantileBound::Finite(8)), "5 of 7 within <=8ms");
         // p90 of 7 observations is the 7th (the overflow one): the
-        // +Inf bucket reports twice the largest finite bound.
-        assert_eq!(h.quantile(0.9), Some(65536));
-        assert_eq!(h.quantile(0.99), Some(65536));
+        // +Inf bucket has no finite upper bound, so the quantile is
+        // Overflow — never a made-up finite number.
+        assert_eq!(h.quantile(0.9), Some(QuantileBound::Overflow));
+        assert_eq!(h.quantile(0.99), Some(QuantileBound::Overflow));
+        assert_eq!(format!("{}", QuantileBound::Overflow), "+Inf");
         assert_eq!(LatencyHist::default().quantile(0.5), None);
     }
 
@@ -472,7 +496,10 @@ mod tests {
         assert_eq!(r.counter("netpart_serve_cache_hit_total"), 1);
         assert_eq!(r.counter("netpart_serve_retries_total"), 2);
         assert_eq!(r.gauge("netpart_serve_queue_depth"), Some(3.0));
-        assert_eq!(r.quantile("netpart_serve_latency_ms", 1.0), Some(16));
+        assert_eq!(
+            r.quantile("netpart_serve_latency_ms", 1.0),
+            Some(QuantileBound::Finite(16))
+        );
         assert_eq!(r.counter("netpart_fm_moves_total"), 0);
         assert_eq!(r.counter("netpart_serve_span_enter_total"), 0);
     }
@@ -509,8 +536,8 @@ mod tests {
         assert_eq!(parsed.value("netpart_serve_queue_depth"), Some(2.0));
         assert_eq!(parsed.types["netpart_serve_latency_ms"], "histogram");
         let cum = parsed.cumulative("netpart_serve_latency_ms");
-        assert_eq!(quantile_of(&cum, 0.5), Some(8));
-        assert_eq!(quantile_of(&cum, 0.99), Some(1024));
+        assert_eq!(quantile_of(&cum, 0.5), Some(QuantileBound::Finite(8)));
+        assert_eq!(quantile_of(&cum, 0.99), Some(QuantileBound::Finite(1024)));
     }
 
     #[test]

@@ -10,7 +10,15 @@
 //! This is the source of the README "Performance" numbers; re-run it
 //! on your own hardware. Besides the table, the run is archived as
 //! `BENCH_fm.json` in the current directory — a metrics snapshot with
-//! per-size wall times for both strategies and the per-pass averages.
+//! per-size wall times for both strategies and the per-pass averages
+//! (`pass_ms_*` gauges, the series `scripts/perf_gate.sh` regresses
+//! against).
+//!
+//! After the strategy table, a single flat `GainBuckets` run times the
+//! 100k-gate Rent-rule synthetic (`rent100k_*` fields) — the circuit
+//! the CSR hot path is sized for. The `LazyHeap` baseline is omitted
+//! there: it is a minutes-not-seconds detour that the small-size
+//! speedup column already characterizes.
 //!
 //! Both strategies must finish every run with `gain_repairs == 0`
 //! (the incremental updates are exact); the example asserts it.
@@ -20,6 +28,13 @@ use netpart::report::{f2, Table};
 use std::time::Instant;
 
 const SIZES: &[usize] = &[800, 1500, 3000];
+
+/// Gate count and Rent exponent of the large-circuit leg. The recipe
+/// (dff fraction, p, generator seed) matches `multilevel_bench`, so
+/// `rent100k_ms` is directly comparable to that archive's
+/// `flat_ms_100000` series across engine revisions.
+const RENT_GATES: usize = 100_000;
+const RENT_P: f64 = 0.65;
 
 fn circuit(gates: usize) -> Result<Hypergraph, Box<dyn std::error::Error>> {
     let nl = generate(
@@ -82,6 +97,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snap.set_gauge(&format!("cut_buckets_{gates}"), bkt_cut as f64);
         snap.set_gauge(&format!("cut_heap_{gates}"), heap_cut as f64);
         snap.set_gauge(&format!("speedup_{gates}"), heap_ms / bkt_ms);
+        snap.set_gauge(&format!("pass_ms_heap_{gates}"), heap_ms / heap_passes as f64);
+        snap.set_gauge(&format!("pass_ms_buckets_{gates}"), bkt_ms / bkt_passes as f64);
         t.row([
             gates.to_string(),
             clbs.to_string(),
@@ -94,6 +111,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{t}");
     println!("(both strategies: gain_repairs == 0 on every run)");
+
+    // Large-circuit leg: flat FM over the 100k-gate Rent synthetic,
+    // single rep (the pass count is high enough that best-of-reps adds
+    // nothing but wall time), replication off to match the flat series
+    // in `BENCH_multilevel.json`.
+    let nl = generate(
+        &GeneratorConfig::new(RENT_GATES)
+            .with_dff(RENT_GATES / 20)
+            .with_rent(RENT_P)
+            .with_seed(42),
+    );
+    let hg = map(&nl, &MapperConfig::xc3000())?.to_hypergraph(&nl);
+    let cfg = BipartitionConfig::equal(&hg, 0.1)
+        .with_seed(1)
+        .with_replication(ReplicationMode::None);
+    let t0 = Instant::now();
+    let r = netpart::core::bipartition(&hg, &cfg);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(r.gain_repairs, 0, "rent100k: incremental gains diverged");
+    assert!(r.balanced, "rent100k: unbalanced result");
+    let pass_ms = ms / r.passes as f64;
+    println!();
+    println!(
+        "rent synthetic, {} gates ({} CLBs, p = {RENT_P}): cut {} in {} passes, \
+         {} ms total, {} ms/pass",
+        RENT_GATES,
+        hg.stats().clbs,
+        r.cut,
+        r.passes,
+        f2(ms),
+        f2(pass_ms),
+    );
+    snap.set_timing("rent100k_ms", ms as u64);
+    snap.set_gauge("rent100k_pass_ms", pass_ms);
+    snap.set_gauge("rent100k_cut", r.cut as f64);
+    snap.set_gauge("rent100k_passes", r.passes as f64);
 
     std::fs::write("BENCH_fm.json", snap.to_json())?;
     println!("archived to BENCH_fm.json");

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Per-pass FM throughput regression gate.
+#
+#   usage: scripts/perf_gate.sh [reps]
+#
+# Snapshots the archived BENCH_fm.json baseline, re-runs
+# examples/fm_pass_bench (which rewrites the archive in place), and
+# compares the per-pass millisecond series — the small-suite
+# `pass_ms_buckets_*` gauges and the 100k-gate Rent synthetic's
+# `rent100k_pass_ms` — new vs old. Any series more than 15% slower
+# fails the gate and restores the old baseline so a re-run compares
+# against the same reference; a pass leaves the fresh numbers archived
+# as the next baseline.
+#
+# The keys are per-pass averages, not whole-run wall times, so a
+# change in pass count from algorithmic work does not masquerade as a
+# throughput change. The 15% tolerance absorbs shared-runner noise;
+# real regressions from structure changes (the CSR arenas bought 2-7x)
+# clear it by an order of magnitude.
+#
+# Portability: bash + POSIX awk only, like scripts/strip_timing.sh —
+# no jq (not in the hermetic toolchain image), no GNU-only sed flags.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REPS="${1:-2}"
+BASELINE=BENCH_fm.json
+TOLERANCE=1.15
+KEYS=(pass_ms_buckets_800 pass_ms_buckets_1500 pass_ms_buckets_3000 rent100k_pass_ms)
+
+if [[ ! -s "$BASELINE" ]]; then
+  echo "error: no archived baseline at $BASELINE (run the bench once to seed it)" >&2
+  exit 2
+fi
+
+# field <file> <key>: the numeric value of `"key": <number>` in a flat
+# metrics-snapshot JSON file (keys are unique per file by construction).
+# Prints nothing when the key is absent.
+field() {
+  awk -v key="\"$2\":" '
+    index($0, key) {
+      v = substr($0, index($0, key) + length(key))
+      gsub(/[ ,]/, "", v)
+      print v
+      exit
+    }' "$1"
+}
+
+old=$(mktemp)
+trap 'rm -f "$old"' EXIT
+cp "$BASELINE" "$old"
+
+cargo run --release --example fm_pass_bench -- "$REPS"
+
+status=0
+for key in "${KEYS[@]}"; do
+  o=$(field "$old" "$key")
+  n=$(field "$BASELINE" "$key")
+  if [[ -z "$n" ]]; then
+    echo "error: fresh bench run did not report $key" >&2
+    status=1
+    continue
+  fi
+  if [[ -z "$o" ]]; then
+    # A baseline from before this series existed: nothing to regress
+    # against; the fresh archive seeds it for the next run.
+    echo "note: baseline lacks $key; seeding it from this run"
+    continue
+  fi
+  if awk -v n="$n" -v o="$o" -v t="$TOLERANCE" 'BEGIN { exit !(n <= o * t) }'; then
+    awk -v k="$key" -v n="$n" -v o="$o" \
+      'BEGIN { printf "ok: %-24s %10.3f ms/pass (baseline %10.3f)\n", k, n, o }'
+  else
+    awk -v k="$key" -v n="$n" -v o="$o" -v t="$TOLERANCE" \
+      'BEGIN { printf "REGRESSION: %s %.3f ms/pass vs baseline %.3f (> %d%% tolerance)\n", \
+               k, n, o, (t - 1) * 100 + 0.5 }' >&2
+    status=1
+  fi
+done
+
+if [[ "$status" -ne 0 ]]; then
+  cp "$old" "$BASELINE"
+  echo "perf gate FAILED; baseline left unchanged" >&2
+  exit 1
+fi
+echo "perf gate passed; new baseline archived to $BASELINE"

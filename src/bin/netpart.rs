@@ -7,6 +7,7 @@
 //!                     [--threshold T] [--runs N] [--epsilon E] [--seed S]
 //!                     [--budget-ms MS] [--jobs N] [--cache] [--certify-out C.cert]
 //!                     [--multilevel] [--max-levels N] [--coarsen-ratio R]
+//!                     [--par-refine]
 //! netpart kway        <file.blif> [--replication none|functional] [--threshold T]
 //!                     [--candidates N] [--max-attempts N] [--seed S] [--refine]
 //!                     [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N]
@@ -129,7 +130,8 @@
 use netpart::core::{refine_kway, unreplicate_cleanup};
 use netpart::engine::WorkerStats;
 use netpart::obs::{
-    diff_stripped, parse_prometheus, quantile_of, scan_trace, ProfileRecorder, StderrRecorder,
+    diff_stripped, parse_prometheus, quantile_of, scan_trace, ProfileRecorder, QuantileBound,
+    StderrRecorder,
 };
 use netpart::prelude::*;
 use netpart::report::{
@@ -146,7 +148,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart serve-status <spool-dir>\n  netpart trace summarize <trace.jsonl>\n  netpart trace validate <trace.jsonl>\n  netpart trace diff <a.jsonl> <b.jsonl>\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S] [--rent P]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--par-refine] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart serve-status <spool-dir>\n  netpart trace summarize <trace.jsonl>\n  netpart trace validate <trace.jsonl>\n  netpart trace diff <a.jsonl> <b.jsonl>\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S] [--rent P]"
     );
     std::process::exit(2)
 }
@@ -161,6 +163,7 @@ struct Flags {
     max_attempts: Option<usize>,
     budget_ms: Option<u64>,
     refine: bool,
+    par_refine: bool,
     assign: Option<String>,
     dff: usize,
     jobs: usize,
@@ -201,6 +204,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         max_attempts: None,
         budget_ms: None,
         refine: false,
+        par_refine: false,
         assign: None,
         dff: 0,
         jobs: 1,
@@ -258,6 +262,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--certify-out" => f.certify_out = Some(val()?.clone()),
             "--netlist" => f.netlist = Some(val()?.clone()),
             "--refine" => f.refine = true,
+            "--par-refine" => f.par_refine = true,
             "--assign" => f.assign = Some(val()?.clone()),
             "--id" => f.id = Some(val()?.clone()),
             "--cmd" => f.cmd = val()?.clone(),
@@ -539,13 +544,14 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         .with_budget(budget_of(f));
     let runs = f.runs.max(1);
     let ml = ml_of(f);
-    if f.jobs > 1 || f.cache || ml.is_some() || Obs::active(f) {
+    if f.jobs > 1 || f.cache || ml.is_some() || f.par_refine || Obs::active(f) {
         // Portfolio engine path: same printed solution as the
         // sequential harness for a fixed seed, by the engine's
         // determinism contract. Observability flags force this path
         // even at --jobs 1 so the emission pipeline (and the stripped
         // trace) is identical at every jobs level; --multilevel always
-        // routes here so the V-cycle keeps the engine's invariance.
+        // routes here so the V-cycle keeps the engine's invariance,
+        // and --par-refine needs the engine's worker pool.
         let obs = Obs::from_flags(f)?;
         let engine = Engine::new(f.jobs)
             .with_cache(f.cache)
@@ -565,10 +571,31 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
             "best run: areas {:?}, {} passes, balanced: {}, stop: {}",
             best.areas, best.passes, best.balanced, best.stop
         );
+        // Post-portfolio polish: refine the winner in place with the
+        // deterministic parallel refiner, then certify the refined
+        // solution. Skipped (with a note) when the winner replicates.
+        let mut refined = None;
+        if f.par_refine {
+            let mut b = best.clone();
+            match engine.par_refine(&hg, &cfg, &mut b) {
+                Some(out) => {
+                    println!(
+                        "par-refine: cut {} -> {} ({} committed over {} rounds)",
+                        out.cut_before, out.cut_after, out.committed, out.rounds
+                    );
+                    refined = Some(b);
+                }
+                None => println!("par-refine: skipped (winner has replicas)"),
+            }
+        }
         note_workers(&stats.workers);
         note_cache(&engine);
         if let Some(out) = &f.certify_out {
-            write_certificate(stats.certificate(&hg, &cfg), out, path)?;
+            let cert = match &refined {
+                Some(b) => b.certificate(&hg, cfg.seed.wrapping_add(stats.best_start() as u64)),
+                None => stats.certificate(&hg, &cfg),
+            };
+            write_certificate(cert, out, path)?;
         }
         obs.finish(f, "bipartition", path, &[("runs", runs.to_string())])?;
         return Ok(());
@@ -1012,13 +1039,22 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
 /// server after every scheduler round that changed a metric, so this
 /// reads a consistent snapshot of a live service.
 fn cmd_serve_status(spool: &str) -> Result<(), Box<dyn Error>> {
+    if !Path::new(spool).is_dir() {
+        return Err(format!("no spool at {spool} (has the server run in this spool?)").into());
+    }
     let path = Path::new(spool).join("metrics.prom");
-    let text = std::fs::read_to_string(&path).map_err(|e| {
-        format!(
-            "cannot read {}: {e} (has the server run in this spool?)",
+    // A spool exists but holds no exposition yet: the server simply has
+    // not completed a scheduler round. That is a normal state of a
+    // fresh service, not an error.
+    if !path.exists() {
+        println!(
+            "no metrics snapshots yet in {spool} (the server writes {} after its first round)",
             path.display()
-        )
-    })?;
+        );
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let prom = parse_prometheus(&text)?;
     let mut t = Table::new(format!("service metrics ({spool})"), &["Metric", "Kind", "Value"]);
     for (name, ty) in &prom.types {
@@ -1030,9 +1066,11 @@ fn cmd_serve_status(spool: &str) -> Result<(), Box<dyn Error>> {
                 t.row([name.clone(), "hist count".into(), format!("{count}")]);
                 t.row([name.clone(), "hist sum".into(), format!("{sum}")]);
                 for q in [0.5, 0.9, 0.99] {
-                    let v = quantile_of(&cum, q)
-                        .map(|ms| format!("<= {ms} ms"))
-                        .unwrap_or_else(|| "-".into());
+                    let v = match quantile_of(&cum, q) {
+                        Some(QuantileBound::Finite(ms)) => format!("<= {ms} ms"),
+                        Some(QuantileBound::Overflow) => "+Inf".into(),
+                        None => "-".into(),
+                    };
                     t.row([name.clone(), format!("p{:.0}", q * 100.0), v]);
                 }
             }

@@ -215,3 +215,18 @@ fn serve_status_without_a_spool_fails_cleanly() {
         "unhelpful error"
     );
 }
+
+#[test]
+fn serve_status_on_a_fresh_spool_reports_no_snapshots_and_exits_zero() {
+    // A spool directory that exists but has no metrics.prom yet — the
+    // server just hasn't completed a round — is a normal state, not an
+    // I/O error.
+    let dir = tmp("freshspool");
+    let spool = dir.join("spool");
+    std::fs::create_dir_all(&spool).expect("spool dir");
+    let (stdout, _) = run_ok(netpart().args(["serve-status", spool.to_str().expect("utf8")]));
+    assert!(
+        stdout.contains("no metrics snapshots yet"),
+        "unfriendly fresh-spool message:\n{stdout}"
+    );
+}
