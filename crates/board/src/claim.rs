@@ -1,0 +1,56 @@
+//! Converts a board plus a routing into the certificate's board
+//! section, so `netpart verify` can re-derive routing feasibility and
+//! the congestion terms without ever seeing this crate's router.
+
+use crate::model::Board;
+use crate::route::Routing;
+use netpart_verify::{BoardClaim, ChannelSpec};
+
+/// Embeds `board` and `routing` as a [`BoardClaim`] for
+/// [`SolutionCertificate::with_board`](netpart_verify::SolutionCertificate::with_board).
+pub fn board_claim(board: &Board, routing: &Routing) -> BoardClaim {
+    BoardClaim {
+        sites: board.n_sites(),
+        digest: board.digest(),
+        channels: board
+            .channels()
+            .iter()
+            .map(|ch| ChannelSpec {
+                a: ch.a,
+                b: ch.b,
+                capacity: ch.capacity,
+                hop: ch.hop,
+            })
+            .collect(),
+        routes: routing
+            .routes
+            .iter()
+            .map(|r| (r.net, r.channels.clone()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{route_nets, NetDemand};
+
+    #[test]
+    fn claim_mirrors_board_and_routes() {
+        let board = Board::mesh2x2();
+        let routing = route_nets(
+            &board,
+            &[NetDemand {
+                net: 5,
+                sites: vec![0, 3],
+            }],
+        )
+        .expect("routes");
+        let claim = board_claim(&board, &routing);
+        assert_eq!(claim.sites, 4);
+        assert_eq!(claim.channels.len(), 4);
+        assert_eq!(claim.digest, board.digest());
+        assert_eq!(claim.routes.len(), 1);
+        assert_eq!(claim.routes[0].0, 5);
+    }
+}

@@ -1,0 +1,53 @@
+//! `netpart-board` — board-topology model and deterministic channel
+//! router for multi-FPGA partitioning scenarios.
+//!
+//! The paper's objective stops at per-device terminal counts; real
+//! multi-FPGA boards pay for cut nets according to *where* they cross.
+//! This crate models the board as a graph of device [`Site`]s joined by
+//! capacitated [`Channel`]s (parsed from a `.board` file or one of the
+//! built-in scenarios), routes every cut net over it with a
+//! deterministic Steiner-tree [`route_nets`] router, and scores the
+//! result with a [`TopologyObjective`] (total hop cost + channel
+//! congestion) alongside the paper's eq. 1 / eq. 2.
+//!
+//! # Determinism contract
+//!
+//! Routing is a pure function of the board structure and the demand
+//! list: nets are processed in ascending id order, searches relax
+//! channels in ascending id order with `(hops, load, site id)` cost
+//! keys, and channel capacities never influence route choice (see
+//! DESIGN.md §17). That last point makes the congestion term exactly
+//! monotone nonincreasing in any channel capacity — a property the
+//! randomized suite in `tests/props_board.rs` exercises.
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_board::{route_nets, Board, NetDemand, TopologyObjective};
+//!
+//! let board = Board::mesh2x2();
+//! let demands = vec![NetDemand { net: 0, sites: vec![0, 3] }];
+//! let routing = route_nets(&board, &demands).unwrap();
+//! let obj = TopologyObjective::evaluate(&board, &routing);
+//! assert_eq!(obj.routed_nets, 1);
+//! assert!(obj.capacity_legal());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod claim;
+mod demand;
+mod error;
+mod model;
+mod objective;
+mod parse;
+mod route;
+
+pub use claim::board_claim;
+pub use demand::demands;
+pub use error::BoardError;
+pub use model::{Board, Channel, Site};
+pub use objective::TopologyObjective;
+pub use parse::parse;
+pub use route::{route_nets, NetDemand, Route, Routing};

@@ -1,0 +1,91 @@
+//! Topology-aware objective terms layered on top of the paper's eq. 1
+//! (total device cost $_k) and eq. 2 (average IOB utilization k̄): once
+//! cut nets are routed over a concrete board, the interconnect is
+//! scored by total hop cost and channel congestion rather than by raw
+//! terminal counts alone.
+
+use crate::model::Board;
+use crate::route::Routing;
+use std::fmt;
+
+/// Aggregate topology terms for one routed placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyObjective {
+    /// Number of cut nets that were routed.
+    pub routed_nets: usize,
+    /// Total hop cost (Σ over routes Σ channel hop) — the delay proxy.
+    pub hops: u64,
+    /// Total congestion Σ_c max(0, load_c − cap_c) — demand the board
+    /// physically cannot carry.
+    pub congestion: u64,
+    /// Channels whose load exceeds capacity.
+    pub overflowed_channels: usize,
+    /// Highest load/capacity ratio over all channels (0 when unused).
+    pub max_channel_util: f64,
+}
+
+impl TopologyObjective {
+    /// Scores a routing against its board.
+    pub fn evaluate(board: &Board, routing: &Routing) -> Self {
+        let mut max_util = 0.0f64;
+        for (ch, &load) in board.channels().iter().zip(&routing.loads) {
+            let util = f64::from(load) / f64::from(ch.capacity);
+            if util > max_util {
+                max_util = util;
+            }
+        }
+        TopologyObjective {
+            routed_nets: routing.routes.len(),
+            hops: routing.hops,
+            congestion: routing.congestion,
+            overflowed_channels: routing.overflowed_channels(board),
+            max_channel_util: max_util,
+        }
+    }
+
+    /// True when every channel carries no more nets than its capacity.
+    pub fn capacity_legal(&self) -> bool {
+        self.congestion == 0
+    }
+}
+
+impl fmt::Display for TopologyObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routed {} cut nets: hops={} congestion={} overflow-channels={} max-util={:.2}",
+            self.routed_nets,
+            self.hops,
+            self.congestion,
+            self.overflowed_channels,
+            self.max_channel_util
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Board;
+    use crate::route::{route_nets, NetDemand};
+
+    #[test]
+    fn objective_matches_routing_totals() {
+        let board = Board::direct2();
+        let demands: Vec<NetDemand> = (0..70)
+            .map(|net| NetDemand {
+                net,
+                sites: vec![0, 1],
+            })
+            .collect();
+        let routing = route_nets(&board, &demands).expect("routes");
+        let obj = TopologyObjective::evaluate(&board, &routing);
+        assert_eq!(obj.routed_nets, 70);
+        assert_eq!(obj.hops, 70);
+        // capacity 64, load 70 → 6 over.
+        assert_eq!(obj.congestion, 6);
+        assert_eq!(obj.overflowed_channels, 1);
+        assert!(!obj.capacity_legal());
+        assert!((obj.max_channel_util - 70.0 / 64.0).abs() < 1e-12);
+    }
+}

@@ -75,6 +75,41 @@ pub struct CellCopySpec {
     pub outputs: u32,
 }
 
+/// One inter-FPGA channel of the board embedded in a certificate.
+///
+/// Like [`DeviceSpec`], the verifier checks routes against these fields
+/// directly — it never reconstructs the producer's board model, so
+/// channel indices keep the producer's meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// First endpoint (site index).
+    pub a: u32,
+    /// Second endpoint (site index).
+    pub b: u32,
+    /// Net capacity of the channel.
+    pub capacity: u32,
+    /// Hop cost of crossing the channel.
+    pub hop: u32,
+}
+
+/// The board-topology section of a certificate: the channel graph the
+/// producer routed over, plus one claimed route per cut net. Present
+/// only for runs under `--board`; certificates without it serialize
+/// byte-identically to protocol v1 before boards existed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BoardClaim {
+    /// Number of device sites (part `j` is hosted on site `j`).
+    pub sites: usize,
+    /// The producer's structural board digest (informational; the
+    /// verifier re-checks structure, not provenance).
+    pub digest: u64,
+    /// Channels, indexed by the ids route lines refer to.
+    pub channels: Vec<ChannelSpec>,
+    /// Claimed routes: `(net id, channel ids ascending)`, one per cut
+    /// net, in ascending net order.
+    pub routes: Vec<(u32, Vec<u32>)>,
+}
+
 /// The producer's claims about its own solution, re-derived from
 /// scratch by [`verify`](crate::verify).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -91,6 +126,11 @@ pub struct Claims {
     pub kbar_bits: Option<u64>,
     /// Claimed overall device feasibility (k-way only).
     pub feasible: Option<bool>,
+    /// Claimed total hop cost of the routed cut nets (board runs only).
+    pub hops: Option<u64>,
+    /// Claimed total channel congestion Σ_c max(0, load_c − cap_c)
+    /// (board runs only).
+    pub congestion: Option<u64>,
 }
 
 /// A complete, serializable record of one partitioning solution.
@@ -121,6 +161,8 @@ pub struct SolutionCertificate {
     /// verifier — not the parser — decides what a duplicate or missing
     /// cell means.
     pub cells: Vec<(u32, Vec<CellCopySpec>)>,
+    /// The board topology and routes, for runs under `--board`.
+    pub board: Option<BoardClaim>,
     /// The producer's claims.
     pub claims: Claims,
 }
@@ -245,6 +287,7 @@ impl SolutionCertificate {
             n_parts: placement.n_parts(),
             devices: Vec::new(),
             cells: cell_lines(hg, placement),
+            board: None,
             claims: Claims {
                 cut_nets: cut_nets(hg, placement),
                 part_clbs: placement.part_areas(hg),
@@ -253,9 +296,7 @@ impl SolutionCertificate {
                     .into_iter()
                     .map(|t| t as u64)
                     .collect(),
-                total_cost: None,
-                kbar_bits: None,
-                feasible: None,
+                ..Claims::default()
             },
         }
     }
@@ -285,6 +326,7 @@ impl SolutionCertificate {
             n_parts: placement.n_parts(),
             devices: devices[..placement.n_parts()].to_vec(),
             cells: cell_lines(hg, placement),
+            board: None,
             claims: Claims {
                 cut_nets: cut_nets(hg, placement),
                 part_clbs: placement.part_areas(hg),
@@ -296,6 +338,7 @@ impl SolutionCertificate {
                 total_cost: Some(eval.total_cost),
                 kbar_bits: Some(eval.avg_iob_util.to_bits()),
                 feasible: Some(eval.feasible),
+                ..Claims::default()
             },
         }
     }
@@ -304,6 +347,16 @@ impl SolutionCertificate {
     /// find the circuit when no override is given).
     pub fn with_source(mut self, path: impl Into<String>) -> Self {
         self.source = Some(path.into());
+        self
+    }
+
+    /// Attaches a board section plus the routed hop/congestion claims
+    /// (runs under `--board`). Certificates without a board section are
+    /// serialized byte-identically to the pre-board protocol.
+    pub fn with_board(mut self, board: BoardClaim, hops: u64, congestion: u64) -> Self {
+        self.board = Some(board);
+        self.claims.hops = Some(hops);
+        self.claims.congestion = Some(congestion);
         self
     }
 
@@ -358,6 +411,28 @@ impl SolutionCertificate {
             out.push_str(&format!(" {n}"));
         }
         out.push('\n');
+        if let Some(board) = &self.board {
+            out.push_str(&format!(
+                "board sites={} channels={} digest={:016x}\n",
+                board.sites,
+                board.channels.len(),
+                board.digest
+            ));
+            for (i, ch) in board.channels.iter().enumerate() {
+                out.push_str(&format!(
+                    "channelspec {} {} {} {} {}\n",
+                    i, ch.a, ch.b, ch.capacity, ch.hop
+                ));
+            }
+            out.push_str(&format!("routes {}\n", board.routes.len()));
+            for (net, channels) in &board.routes {
+                out.push_str(&format!("route {net}"));
+                for c in channels {
+                    out.push_str(&format!(" {c}"));
+                }
+                out.push('\n');
+            }
+        }
         if let Some(c) = self.claims.total_cost {
             out.push_str(&format!("claim cost {c}\n"));
         }
@@ -366,6 +441,12 @@ impl SolutionCertificate {
         }
         if let Some(f) = self.claims.feasible {
             out.push_str(&format!("claim feasible {f}\n"));
+        }
+        if let Some(h) = self.claims.hops {
+            out.push_str(&format!("claim hops {h}\n"));
+        }
+        if let Some(g) = self.claims.congestion {
+            out.push_str(&format!("claim congestion {g}\n"));
         }
         out.push_str("end netpart-certificate\n");
         out
@@ -672,14 +753,25 @@ impl<'a> Parser<'a> {
             part_terminals,
             ..Claims::default()
         };
+        let mut board: Option<BoardClaim> = None;
         loop {
             let (n, line) = self.next_line()?;
             if line == "end netpart-certificate" {
                 break;
             }
+            if line.starts_with("board ") {
+                if board.is_some() {
+                    return Err(ParseError {
+                        line: n,
+                        what: "duplicate board section".into(),
+                    });
+                }
+                board = Some(self.parse_board(n, line)?);
+                continue;
+            }
             let rest = line.strip_prefix("claim ").ok_or_else(|| ParseError {
                 line: n,
-                what: format!("expected `claim …` or the end trailer, found `{line}`"),
+                what: format!("expected `claim …`, `board …` or the end trailer, found `{line}`"),
             })?;
             let (key, val) = rest.split_once(' ').ok_or_else(|| ParseError {
                 line: n,
@@ -707,6 +799,20 @@ impl<'a> Parser<'a> {
                             .map_err(|_| bad(format!("bad feasible flag `{val}`")))?,
                     );
                 }
+                "hops" => {
+                    claims.hops = Some(
+                        val.trim()
+                            .parse()
+                            .map_err(|_| bad(format!("bad hops `{val}`")))?,
+                    );
+                }
+                "congestion" => {
+                    claims.congestion = Some(
+                        val.trim()
+                            .parse()
+                            .map_err(|_| bad(format!("bad congestion `{val}`")))?,
+                    );
+                }
                 other => return Err(bad(format!("unknown claim `{other}`"))),
             }
         }
@@ -723,7 +829,86 @@ impl<'a> Parser<'a> {
             n_parts,
             devices,
             cells,
+            board,
             claims,
+        })
+    }
+
+    /// Parses the `board …` header plus its `channelspec`/`routes`/
+    /// `route` block. `header` is the already-read board line.
+    fn parse_board(&mut self, line_no: usize, header: &str) -> Result<BoardClaim, ParseError> {
+        let mut toks = header.split_whitespace();
+        let _ = toks.next(); // `board`
+        let sites: usize = Self::expect_field(line_no, toks.next(), "sites")?;
+        let n_channels: usize = Self::expect_field(line_no, toks.next(), "channels")?;
+        let digest_tok: String = Self::expect_field(line_no, toks.next(), "digest")?;
+        let digest = u64::from_str_radix(&digest_tok, 16).map_err(|_| ParseError {
+            line: line_no,
+            what: format!("bad board digest `{digest_tok}`"),
+        })?;
+        let mut channels = Vec::with_capacity(n_channels);
+        for i in 0..n_channels {
+            let (n, line) = self.next_line()?;
+            let bad = |what: String| ParseError { line: n, what };
+            let mut t = line.split_whitespace();
+            if t.next() != Some("channelspec") {
+                return Err(bad(format!("expected `channelspec {i} …`, found `{line}`")));
+            }
+            let parse_u32 = |tok: Option<&str>, what: &str| -> Result<u32, ParseError> {
+                tok.and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(format!("bad channelspec {what}")))
+            };
+            let idx = parse_u32(t.next(), "index")?;
+            if idx as usize != i {
+                return Err(bad(format!("channelspec index {idx}, expected {i}")));
+            }
+            let a = parse_u32(t.next(), "endpoint")?;
+            let b = parse_u32(t.next(), "endpoint")?;
+            let capacity = parse_u32(t.next(), "capacity")?;
+            let hop = parse_u32(t.next(), "hop")?;
+            channels.push(ChannelSpec {
+                a,
+                b,
+                capacity,
+                hop,
+            });
+        }
+        let (n, routes_line) = self.next_line()?;
+        let n_routes: usize = routes_line
+            .strip_prefix("routes ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| ParseError {
+                line: n,
+                what: format!("expected `routes <count>`, found `{routes_line}`"),
+            })?;
+        let mut routes = Vec::with_capacity(n_routes);
+        for _ in 0..n_routes {
+            let (n, line) = self.next_line()?;
+            let mut t = line.split_whitespace();
+            if t.next() != Some("route") {
+                return Err(ParseError {
+                    line: n,
+                    what: format!("expected `route <net> …`, found `{line}`"),
+                });
+            }
+            let net: u32 = t.next().and_then(|v| v.parse().ok()).ok_or(ParseError {
+                line: n,
+                what: "bad route net id".into(),
+            })?;
+            let mut chans = Vec::new();
+            for tok in t {
+                chans.push(tok.parse().map_err(|_| ParseError {
+                    line: n,
+                    what: format!("bad route channel id `{tok}`"),
+                })?);
+            }
+            routes.push((net, chans));
+        }
+        Ok(BoardClaim {
+            sites,
+            digest,
+            channels,
+            routes,
         })
     }
 }

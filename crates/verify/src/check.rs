@@ -144,6 +144,65 @@ pub enum Violation {
         /// Recomputed flag.
         actual: bool,
     },
+    /// A non-empty part has no device site on the embedded board.
+    BoardSiteOverflow {
+        /// The part with no backing site.
+        part: usize,
+        /// Number of sites on the embedded board.
+        sites: usize,
+    },
+    /// An embedded channel endpoint is outside the board's sites.
+    ChannelEndpointOutOfRange {
+        /// The channel index.
+        channel: u32,
+        /// The out-of-range site index.
+        site: u32,
+        /// Number of sites on the embedded board.
+        sites: usize,
+    },
+    /// A cut net has no route line.
+    RouteMissing {
+        /// The unrouted cut net.
+        net: u32,
+    },
+    /// A route line covers a net that is not cut (or repeats a net).
+    RouteExtraneous {
+        /// The net.
+        net: u32,
+    },
+    /// A route references a channel outside the embedded board.
+    PhantomChannel {
+        /// The net whose route is broken.
+        net: u32,
+        /// The nonexistent channel index.
+        channel: u32,
+    },
+    /// A route lists the same channel twice.
+    RouteDuplicateChannel {
+        /// The net.
+        net: u32,
+        /// The repeated channel index.
+        channel: u32,
+    },
+    /// A route's channels do not connect all sites the net touches.
+    RouteDisconnected {
+        /// The net.
+        net: u32,
+    },
+    /// The claimed total hop cost disagrees with the recomputation.
+    HopsMismatch {
+        /// Claimed hops.
+        claimed: u64,
+        /// Recomputed hops.
+        actual: u64,
+    },
+    /// The claimed channel congestion disagrees with the recomputation.
+    CongestionMismatch {
+        /// Claimed congestion.
+        claimed: u64,
+        /// Recomputed congestion.
+        actual: u64,
+    },
 }
 
 impl Violation {
@@ -169,6 +228,15 @@ impl Violation {
             Violation::CostMismatch { .. } => "cost-mismatch",
             Violation::KbarMismatch { .. } => "kbar-mismatch",
             Violation::FeasibilityMismatch { .. } => "feasibility-mismatch",
+            Violation::BoardSiteOverflow { .. } => "board-site-overflow",
+            Violation::ChannelEndpointOutOfRange { .. } => "channel-endpoint-out-of-range",
+            Violation::RouteMissing { .. } => "route-missing",
+            Violation::RouteExtraneous { .. } => "route-extraneous",
+            Violation::PhantomChannel { .. } => "route-phantom-channel",
+            Violation::RouteDuplicateChannel { .. } => "route-duplicate-channel",
+            Violation::RouteDisconnected { .. } => "route-disconnected",
+            Violation::HopsMismatch { .. } => "hops-mismatch",
+            Violation::CongestionMismatch { .. } => "congestion-mismatch",
         }
     }
 }
@@ -248,6 +316,40 @@ impl fmt::Display for Violation {
             Violation::FeasibilityMismatch { claimed, actual } => {
                 write!(f, "claimed feasible = {claimed}, recomputed {actual}")
             }
+            Violation::BoardSiteOverflow { part, sites } => write!(
+                f,
+                "non-empty part P{part} has no device site (board has {sites})"
+            ),
+            Violation::ChannelEndpointOutOfRange {
+                channel,
+                site,
+                sites,
+            } => write!(
+                f,
+                "channel {channel} endpoint {site} is outside the board's {sites} sites"
+            ),
+            Violation::RouteMissing { net } => {
+                write!(f, "cut net n{net} has no route over the board")
+            }
+            Violation::RouteExtraneous { net } => {
+                write!(f, "net n{net} has a route but is not cut (or is routed twice)")
+            }
+            Violation::PhantomChannel { net, channel } => {
+                write!(f, "route of n{net} uses nonexistent channel {channel}")
+            }
+            Violation::RouteDuplicateChannel { net, channel } => {
+                write!(f, "route of n{net} lists channel {channel} twice")
+            }
+            Violation::RouteDisconnected { net } => write!(
+                f,
+                "route of n{net} does not connect all sites the net touches"
+            ),
+            Violation::HopsMismatch { claimed, actual } => {
+                write!(f, "claimed hops = {claimed}, recomputed {actual}")
+            }
+            Violation::CongestionMismatch { claimed, actual } => {
+                write!(f, "claimed congestion = {claimed}, recomputed {actual}")
+            }
         }
     }
 }
@@ -268,6 +370,11 @@ pub struct Recomputed {
     pub kbar: Option<f64>,
     /// Overall device feasibility (k-way only).
     pub feasible: Option<bool>,
+    /// Total hop cost of the claimed routes (board certificates only).
+    pub hops: Option<u64>,
+    /// Channel congestion Σ_c max(0, load_c − cap_c) (board
+    /// certificates only).
+    pub congestion: Option<u64>,
 }
 
 /// The verifier's verdict on one certificate.
@@ -307,6 +414,12 @@ impl fmt::Display for VerifyReport {
             }
             if let Some(k) = self.recomputed.kbar {
                 write!(f, ", k̄ = {k:.4}")?;
+            }
+            if let Some(h) = self.recomputed.hops {
+                write!(f, ", hops = {h}")?;
+            }
+            if let Some(g) = self.recomputed.congestion {
+                write!(f, ", congestion = {g}")?;
             }
             return Ok(());
         }
@@ -478,6 +591,9 @@ pub fn verify(hg: &Hypergraph, cert: &SolutionCertificate) -> VerifyReport {
     //    the net crosses a device boundary it touches.
     let mut part_terminals = vec![0u64; cert.n_parts];
     let mut cut_actual: Vec<u32> = Vec::new();
+    // Per cut net, the parts it touches (parallel to `cut_actual`) —
+    // the site sets the board route checks re-derive against.
+    let mut cut_parts: Vec<Vec<usize>> = Vec::new();
     for nid in hg.net_ids() {
         let net = hg.net(nid);
         let mut touched = vec![false; cert.n_parts];
@@ -498,6 +614,13 @@ pub fn verify(hg: &Hypergraph, cert: &SolutionCertificate) -> VerifyReport {
         let span = touched.iter().filter(|&&t| t).count();
         if span >= 2 {
             cut_actual.push(nid.0);
+            cut_parts.push(
+                touched
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(p, &t)| t.then_some(p))
+                    .collect(),
+            );
         }
         for p in 0..cert.n_parts {
             let crossing_cost = u64::from(span >= 2 && touched[p]);
@@ -545,9 +668,7 @@ pub fn verify(hg: &Hypergraph, cert: &SolutionCertificate) -> VerifyReport {
         cut: cut_actual.len(),
         part_clbs,
         part_terminals,
-        total_cost: None,
-        kbar: None,
-        feasible: None,
+        ..Recomputed::default()
     };
     if cert.kind == CertKind::KWay {
         let mut total_cost = 0u64;
@@ -637,8 +758,169 @@ pub fn verify(hg: &Hypergraph, cert: &SolutionCertificate) -> VerifyReport {
         }
     }
 
+    // 9. Board routing re-derivation: every cut net must be routed over
+    //    a channel tree connecting exactly the sites its parts map to
+    //    (identity mapping, part j → site j); loads, total hop cost and
+    //    congestion are recomputed from the route lines and the embedded
+    //    channel specs alone — never from the producer's router.
+    if let Some(board) = &cert.board {
+        check_board(
+            board,
+            &cut_actual,
+            &cut_parts,
+            &recomputed,
+            cert,
+            &mut violations,
+        );
+        if let Some((hops, congestion)) = recompute_routing(board) {
+            recomputed.hops = Some(hops);
+            recomputed.congestion = Some(congestion);
+            if let Some(claimed) = cert.claims.hops {
+                if claimed != hops {
+                    violations.push(Violation::HopsMismatch {
+                        claimed,
+                        actual: hops,
+                    });
+                }
+            }
+            if let Some(claimed) = cert.claims.congestion {
+                if claimed != congestion {
+                    violations.push(Violation::CongestionMismatch {
+                        claimed,
+                        actual: congestion,
+                    });
+                }
+            }
+        }
+    }
+
     VerifyReport {
         violations,
         recomputed,
     }
+}
+
+/// Structural board checks: parts backed by sites, channel endpoints in
+/// range, route↔cut-set agreement, channel ids valid and unrepeated,
+/// and per-net site connectivity via union-find over route channels.
+fn check_board(
+    board: &crate::certificate::BoardClaim,
+    cut_actual: &[u32],
+    cut_parts: &[Vec<usize>],
+    recomputed: &Recomputed,
+    cert: &SolutionCertificate,
+    violations: &mut Vec<Violation>,
+) {
+    for p in 0..cert.n_parts {
+        let clbs = recomputed.part_clbs.get(p).copied().unwrap_or(0);
+        let terminals = recomputed.part_terminals.get(p).copied().unwrap_or(0);
+        if (clbs > 0 || terminals > 0) && p >= board.sites {
+            violations.push(Violation::BoardSiteOverflow {
+                part: p,
+                sites: board.sites,
+            });
+        }
+    }
+    for (i, ch) in board.channels.iter().enumerate() {
+        for site in [ch.a, ch.b] {
+            if (site as usize) >= board.sites {
+                violations.push(Violation::ChannelEndpointOutOfRange {
+                    channel: i as u32,
+                    site,
+                    sites: board.sites,
+                });
+            }
+        }
+    }
+
+    let mut routed: Vec<u32> = Vec::new();
+    for (net, channels) in &board.routes {
+        let in_cut = cut_actual.binary_search(net).is_ok();
+        let duplicate = routed.contains(net);
+        routed.push(*net);
+        if !in_cut || duplicate {
+            violations.push(Violation::RouteExtraneous { net: *net });
+            continue;
+        }
+        // Channel validity.
+        let mut seen: Vec<u32> = Vec::new();
+        let mut valid = true;
+        for &c in channels {
+            if (c as usize) >= board.channels.len() {
+                violations.push(Violation::PhantomChannel { net: *net, channel: c });
+                valid = false;
+                continue;
+            }
+            if seen.contains(&c) {
+                violations.push(Violation::RouteDuplicateChannel { net: *net, channel: c });
+            } else {
+                seen.push(c);
+            }
+        }
+        if !valid {
+            continue;
+        }
+        // Connectivity: all touched sites in one component of the route.
+        let idx = cut_actual
+            .binary_search(net)
+            .expect("checked in_cut above");
+        let sites = &cut_parts[idx];
+        if sites.iter().any(|&s| s >= board.sites) {
+            continue; // already reported as BoardSiteOverflow
+        }
+        let mut root: Vec<usize> = (0..board.sites).collect();
+        fn find(root: &mut [usize], mut x: usize) -> usize {
+            while root[x] != x {
+                root[x] = root[root[x]];
+                x = root[x];
+            }
+            x
+        }
+        for &c in &seen {
+            let ch = board.channels[c as usize];
+            if (ch.a as usize) >= board.sites || (ch.b as usize) >= board.sites {
+                continue; // already reported as ChannelEndpointOutOfRange
+            }
+            let (ra, rb) = (find(&mut root, ch.a as usize), find(&mut root, ch.b as usize));
+            root[ra] = rb;
+        }
+        let anchor = find(&mut root, sites[0]);
+        if sites[1..].iter().any(|&s| find(&mut root, s) != anchor) {
+            violations.push(Violation::RouteDisconnected { net: *net });
+        }
+    }
+    for (i, &net) in cut_actual.iter().enumerate() {
+        if cut_parts[i].len() >= 2 && !routed.contains(&net) {
+            violations.push(Violation::RouteMissing { net });
+        }
+    }
+}
+
+/// Recomputes `(hops, congestion)` from the route lines and channel
+/// specs. Phantom channel ids are skipped (they are already violations)
+/// and a duplicated channel inside one route is counted once.
+fn recompute_routing(board: &crate::certificate::BoardClaim) -> Option<(u64, u64)> {
+    let mut loads = vec![0u64; board.channels.len()];
+    let mut hops = 0u64;
+    for (_, channels) in &board.routes {
+        let mut seen: Vec<u32> = Vec::new();
+        for &c in channels {
+            let Some(ch) = board.channels.get(c as usize) else {
+                continue;
+            };
+            if seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            loads[c as usize] += 1;
+            hops += u64::from(ch.hop);
+        }
+    }
+    let congestion = board
+        .channels
+        .iter()
+        .zip(&loads)
+        .map(|(ch, &load)| load.saturating_sub(u64::from(ch.capacity)))
+        .sum();
+    Some((hops, congestion))
 }

@@ -48,6 +48,7 @@ mod check;
 pub mod gen;
 
 pub use certificate::{
-    circuit_digest, CellCopySpec, CertKind, Claims, DeviceSpec, ParseError, SolutionCertificate,
+    circuit_digest, BoardClaim, CellCopySpec, CertKind, ChannelSpec, Claims, DeviceSpec,
+    ParseError, SolutionCertificate,
 };
 pub use check::{verify, verify_text, Recomputed, VerifyReport, Violation};

@@ -5,12 +5,17 @@
 #
 # Snapshots the archived BENCH_fm.json baseline, re-runs
 # examples/fm_pass_bench (which rewrites the archive in place), and
-# compares the per-pass millisecond series — the small-suite
-# `pass_ms_buckets_*` gauges and the 100k-gate Rent synthetic's
-# `rent100k_pass_ms` — new vs old. Any series more than 15% slower
-# fails the gate and restores the old baseline so a re-run compares
-# against the same reference; a pass leaves the fresh numbers archived
-# as the next baseline.
+# compares every per-pass millisecond series — any gauge whose name
+# contains `pass_ms` — new vs old. The series list is discovered from
+# the snapshots themselves, not hardcoded, and an unmatched series in
+# either direction is a hard failure: a baseline series the fresh run
+# no longer reports means a bench was dropped or renamed and part of
+# the hot path is silently ungated, and a fresh series the baseline
+# lacks has no reference to regress against (re-seed deliberately by
+# running the bench and committing the archive). Any matched series
+# more than 15% slower fails the gate; every failure restores the old
+# baseline so a re-run compares against the same reference, and a pass
+# leaves the fresh numbers archived as the next baseline.
 #
 # The keys are per-pass averages, not whole-run wall times, so a
 # change in pass count from algorithmic work does not masquerade as a
@@ -27,7 +32,6 @@ cd "$(dirname "$0")/.."
 REPS="${1:-2}"
 BASELINE=BENCH_fm.json
 TOLERANCE=1.15
-KEYS=(pass_ms_buckets_800 pass_ms_buckets_1500 pass_ms_buckets_3000 rent100k_pass_ms)
 
 if [[ ! -s "$BASELINE" ]]; then
   echo "error: no archived baseline at $BASELINE (run the bench once to seed it)" >&2
@@ -47,27 +51,54 @@ field() {
     }' "$1"
 }
 
+# series <file>: every per-pass millisecond series in a snapshot,
+# sorted — any `"…pass_ms…":` gauge key.
+series() {
+  awk '
+    {
+      s = $0
+      while (match(s, /"[A-Za-z0-9_]*pass_ms[A-Za-z0-9_]*"[ ]*:/)) {
+        k = substr(s, RSTART + 1)
+        print substr(k, 1, index(k, "\"") - 1)
+        s = substr(s, RSTART + RLENGTH)
+      }
+    }' "$1" | sort -u
+}
+
 old=$(mktemp)
 trap 'rm -f "$old"' EXIT
 cp "$BASELINE" "$old"
 
 cargo run --release --example fm_pass_bench -- "$REPS"
 
+mapfile -t old_keys < <(series "$old")
+mapfile -t new_keys < <(series "$BASELINE")
+
 status=0
-for key in "${KEYS[@]}"; do
+if [[ ${#new_keys[@]} -eq 0 ]]; then
+  echo "error: fresh bench run reported no pass_ms series" >&2
+  status=1
+fi
+# Unmatched series in either direction are fatal, not seeded over.
+only_old=$(comm -23 <(printf '%s\n' "${old_keys[@]-}") <(printf '%s\n' "${new_keys[@]-}"))
+only_new=$(comm -13 <(printf '%s\n' "${old_keys[@]-}") <(printf '%s\n' "${new_keys[@]-}"))
+if [[ -n "$only_old" ]]; then
+  echo "error: baseline series missing from the fresh run (dropped or renamed bench?):" >&2
+  printf '  %s\n' $only_old >&2
+  status=1
+fi
+if [[ -n "$only_new" ]]; then
+  echo "error: fresh series absent from the baseline (seed it deliberately and commit):" >&2
+  printf '  %s\n' $only_new >&2
+  status=1
+fi
+
+for key in "${new_keys[@]-}"; do
+  [[ -n "$key" ]] || continue
   o=$(field "$old" "$key")
   n=$(field "$BASELINE" "$key")
-  if [[ -z "$n" ]]; then
-    echo "error: fresh bench run did not report $key" >&2
-    status=1
-    continue
-  fi
-  if [[ -z "$o" ]]; then
-    # A baseline from before this series existed: nothing to regress
-    # against; the fresh archive seeds it for the next run.
-    echo "note: baseline lacks $key; seeding it from this run"
-    continue
-  fi
+  # Unmatched keys are already fatal above; compare only the matched.
+  [[ -n "$o" && -n "$n" ]] || continue
   if awk -v n="$n" -v o="$o" -v t="$TOLERANCE" 'BEGIN { exit !(n <= o * t) }'; then
     awk -v k="$key" -v n="$n" -v o="$o" \
       'BEGIN { printf "ok: %-24s %10.3f ms/pass (baseline %10.3f)\n", k, n, o }'

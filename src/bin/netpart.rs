@@ -78,6 +78,21 @@
 //! `--multilevel`). The multilevel path routes through the portfolio
 //! engine, so `--jobs` invariance and certificates work unchanged.
 //!
+//! # Board topologies
+//!
+//! `--board <file.board>` (or a builtin: `direct2`, `mesh2x2`, `star8`)
+//! routes the winning solution's cut nets over a concrete multi-FPGA
+//! board with the deterministic channel router (`netpart::board`),
+//! prints the topology objective (total hop cost, channel congestion,
+//! peak channel utilization) and — with `--certify-out` — embeds the
+//! board and every route in the certificate so `netpart verify`
+//! re-derives routing feasibility and the congestion terms from
+//! scratch. Part `j` of the placement is hosted on board site `j`; a
+//! placement with more occupied parts than the board has sites is
+//! rejected as invalid input (exit 2). Routing is a pure function of
+//! the placement, so stdout stays byte-identical across `--jobs`
+//! levels.
+//!
 //! Generated circuits can be exported for experimentation with
 //! `netpart synth <gates> [out.blif]`; `--rent P` switches the
 //! generator to Rent-rule I/O scaling (`T ≈ 2.5·B^P`) for realistic
@@ -148,7 +163,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--par-refine] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart serve-status <spool-dir>\n  netpart trace summarize <trace.jsonl>\n  netpart trace validate <trace.jsonl>\n  netpart trace diff <a.jsonl> <b.jsonl>\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S] [--rent P]"
+        "usage:\n  netpart stats <file.blif>\n  netpart bipartition <file.blif> [--replication none|traditional|functional] [--threshold T] [--runs N] [--epsilon E] [--seed S] [--budget-ms MS] [--jobs N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--par-refine] [--board B.board|direct2|mesh2x2|star8] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart kway <file.blif> [--replication none|functional] [--threshold T] [--candidates N] [--max-attempts N] [--seed S] [--refine] [--budget-ms MS] [--assign out.csv] [--jobs N] [--tasks N] [--cache] [--multilevel] [--max-levels N] [--coarsen-ratio R] [--board B.board|direct2|mesh2x2|star8] [--certify-out C.cert] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart verify <file.cert> [--netlist file.blif] [-v|-vv]\n  netpart serve <spool-dir> [--drain] [--jobs N] [--max-queue N] [--max-retries N] [--backoff-base R] [--poll-ms MS] [--budget-ms MS] [--seed S] [--trace-out T.jsonl] [--metrics-out M.json] [--profile-out P.json] [-v|-vv]\n  netpart serve-status <spool-dir>\n  netpart trace summarize <trace.jsonl>\n  netpart trace validate <trace.jsonl>\n  netpart trace diff <a.jsonl> <b.jsonl>\n  netpart submit <spool-dir> <file.blif> [--cmd bipartition|kway] [--id ID] [--seed S] [--runs N] [--epsilon E] [--candidates N] [--tasks N] [--replication M] [--threshold T] [--budget-ms MS] [--max-retries N] [--max-queue N]\n  netpart queue <spool-dir>\n  netpart synth <gates> [out.blif] [--dff N] [--seed S] [--rent P]"
     );
     std::process::exit(2)
 }
@@ -179,6 +194,7 @@ struct Flags {
     profile_out: Option<String>,
     certify_out: Option<String>,
     netlist: Option<String>,
+    board: Option<String>,
     // Service-mode flags (serve / submit / queue).
     id: Option<String>,
     cmd: String,
@@ -220,6 +236,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         profile_out: None,
         certify_out: None,
         netlist: None,
+        board: None,
         id: None,
         cmd: "kway".into(),
         max_queue: 64,
@@ -261,6 +278,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--profile-out" => f.profile_out = Some(val()?.clone()),
             "--certify-out" => f.certify_out = Some(val()?.clone()),
             "--netlist" => f.netlist = Some(val()?.clone()),
+            "--board" => f.board = Some(val()?.clone()),
             "--refine" => f.refine = true,
             "--par-refine" => f.par_refine = true,
             "--assign" => f.assign = Some(val()?.clone()),
@@ -461,6 +479,79 @@ fn ml_of(f: &Flags) -> Option<MultilevelConfig> {
     Some(ml)
 }
 
+/// Resolves a `--board` argument: one of the builtin topologies by
+/// name, else a `.board` file path. Parse failures carry the offending
+/// line number and exit 1 like BLIF parse errors.
+fn load_board(spec: &str) -> Result<Board, Box<dyn Error>> {
+    match spec {
+        "direct2" => Ok(Board::direct2()),
+        "mesh2x2" => Ok(Board::mesh2x2()),
+        "star8" => Ok(Board::star(8)),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read board {path}: {e}"))?;
+            parse_board(&text).map_err(|e| format!("{path}: {e}").into())
+        }
+    }
+}
+
+/// Routes the winning placement's cut nets over the `--board` topology:
+/// prints the objective line to stdout (deterministic — a pure function
+/// of the placement), emits `board.*` events when recording, and
+/// returns the claim bundle to embed in the certificate.
+fn route_board(
+    spec: &str,
+    hg: &Hypergraph,
+    placement: &Placement,
+    recorder: Option<&Arc<dyn Recorder>>,
+) -> Result<(BoardClaim, u64, u64), Box<dyn Error>> {
+    let board = load_board(spec)?;
+    if let Some(r) = recorder {
+        r.record(
+            &Event::new("board", "loaded", Level::Info)
+                .field("name", board.name().to_string())
+                .field("sites", board.n_sites())
+                .field("channels", board.n_channels())
+                .field("digest", format!("{:016x}", board.digest())),
+        );
+    }
+    let demands = board_demands(hg, placement, &board).map_err(|e| -> Box<dyn Error> {
+        match &e {
+            // More occupied parts than sites is the caller asking for a
+            // mapping that cannot exist: invalid input, exit 2.
+            BoardError::SitesExceeded { .. } => {
+                Box::new(PartitionError::invalid_input(e.to_string()))
+            }
+            _ => Box::new(e),
+        }
+    })?;
+    let routing = route_nets(&board, &demands)?;
+    let objective = TopologyObjective::evaluate(&board, &routing);
+    println!("board {}: {objective}", board.name());
+    if let Some(r) = recorder {
+        r.record(
+            &Event::new("board", "routed", Level::Info)
+                .field("nets", objective.routed_nets)
+                .field("hops", objective.hops)
+                .field("congestion", objective.congestion)
+                .field("overflow_channels", objective.overflowed_channels),
+        );
+    }
+    let claim = board_claim(&board, &routing);
+    Ok((claim, routing.hops, routing.congestion))
+}
+
+/// Attaches a routed board claim to a certificate, when both exist.
+fn attach_board(
+    cert: Option<SolutionCertificate>,
+    board: Option<(BoardClaim, u64, u64)>,
+) -> Option<SolutionCertificate> {
+    match (cert, board) {
+        (Some(c), Some((claim, hops, congestion))) => Some(c.with_board(claim, hops, congestion)),
+        (c, _) => c,
+    }
+}
+
 fn mode_of(f: &Flags) -> Result<ReplicationMode, Box<dyn Error>> {
     Ok(match f.replication.as_str() {
         "none" => ReplicationMode::None,
@@ -590,12 +681,21 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         }
         note_workers(&stats.workers);
         note_cache(&engine);
+        let mut routed = None;
+        if let Some(spec) = &f.board {
+            let placement = match &refined {
+                Some(b) => b.placement.as_ref(),
+                None => best.placement.as_ref(),
+            }
+            .ok_or("nothing to route: the winning run exported no placement")?;
+            routed = Some(route_board(spec, &hg, placement, Some(&obs.recorder))?);
+        }
         if let Some(out) = &f.certify_out {
             let cert = match &refined {
                 Some(b) => b.certificate(&hg, cfg.seed.wrapping_add(stats.best_start() as u64)),
                 None => stats.certificate(&hg, &cfg),
             };
-            write_certificate(cert, out, path)?;
+            write_certificate(attach_board(cert, routed), out, path)?;
         }
         obs.finish(f, "bipartition", path, &[("runs", runs.to_string())])?;
         return Ok(());
@@ -614,8 +714,16 @@ fn cmd_bipartition(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         "best run: areas {:?}, {} passes, balanced: {}, stop: {}",
         best.areas, best.passes, best.balanced, best.stop
     );
+    let mut routed = None;
+    if let Some(spec) = &f.board {
+        let placement = best
+            .placement
+            .as_ref()
+            .ok_or("nothing to route: the winning run exported no placement")?;
+        routed = Some(route_board(spec, &hg, placement, None)?);
+    }
     if let Some(out) = &f.certify_out {
-        write_certificate(stats.certificate(&hg, &cfg), out, path)?;
+        write_certificate(attach_board(stats.certificate(&hg, &cfg), routed), out, path)?;
     }
     Ok(())
 }
@@ -639,6 +747,10 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
     }
     let obs_active = Obs::active(f);
     let ml = ml_of(f);
+    // Built unconditionally so `--board` can emit `board.*` events on
+    // the post-refinement result; with no observability flag the tee is
+    // empty and both recording and `finish` are no-ops.
+    let obs = Obs::from_flags(f)?;
     let (mut res, cert_seed) = if f.jobs > 1 || f.tasks.is_some() || f.cache || ml.is_some() || obs_active
     {
         // Portfolio engine path. The task count is fixed independently
@@ -646,7 +758,6 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         // jobs-invariant. Observability flags force this path even at
         // --jobs 1 (see cmd_bipartition), as does --multilevel.
         let tasks = f.tasks.unwrap_or(4);
-        let obs = Obs::from_flags(f)?;
         let engine = Engine::new(f.jobs)
             .with_cache(f.cache)
             .with_multilevel(ml)
@@ -661,7 +772,6 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         );
         note_workers(&pres.workers);
         note_cache(&engine);
-        obs.finish(f, "kway", path, &[("tasks", tasks.to_string())])?;
         let winner_seed = cfg.seed.wrapping_add(pres.winner as u64);
         (pres.result.clone(), winner_seed)
     } else {
@@ -695,6 +805,10 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
             100.0 * part.iob_util
         );
     }
+    let mut routed = None;
+    if let Some(spec) = &f.board {
+        routed = Some(route_board(spec, &hg, &res.placement, Some(&obs.recorder))?);
+    }
     if let Some(out) = &f.assign {
         let mut csv = String::from("cell,part,outputs_mask\n");
         for c in hg.cell_ids() {
@@ -712,8 +826,15 @@ fn cmd_kway(path: &str, f: &Flags) -> Result<(), Box<dyn Error>> {
         println!("assignment written to {out}");
     }
     if let Some(out) = &f.certify_out {
-        write_certificate(Some(res.certificate(&hg, &lib, cert_seed)), out, path)?;
+        let cert = Some(res.certificate(&hg, &lib, cert_seed));
+        write_certificate(attach_board(cert, routed), out, path)?;
     }
+    obs.finish(
+        f,
+        "kway",
+        path,
+        &[("tasks", f.tasks.unwrap_or(4).to_string())],
+    )?;
     Ok(())
 }
 

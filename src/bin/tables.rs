@@ -5,7 +5,7 @@
 //! tables <exhibit> [--runs N] [--candidates N] [--scale N] [--kway-scale N]
 //!                  [--out DIR] [--only NAME,...] [--timing]
 //!
-//! exhibit: table1 | table2 | table3 | table4 (IV–VII) | figure3 | all
+//! exhibit: table1 | table2 | table3 | table4 (IV–VII) | figure3 | board | all
 //! --runs N        bipartition runs per circuit for Table III (default 20)
 //! --candidates N  feasible k-way partitions per run for Tables IV–VII (default 3)
 //! --scale N       shrink factor for Tables II–III / Figure 3 (default 1 = paper scale)
@@ -20,7 +20,9 @@
 //! (enforced by `tests/golden_tables.rs`). To bless new goldens after an
 //! intentional algorithm change, rerun `tables all` and commit the diff.
 
-use netpart::experiments::{figure3, table1, table2, table3, tables_4_to_7, try_suite, Timing};
+use netpart::experiments::{
+    board_matrix, figure3, table1, table2, table3, tables_4_to_7, try_suite, Timing,
+};
 use netpart::report::Table;
 use std::path::PathBuf;
 
@@ -164,9 +166,24 @@ fn main() {
             }
         }
     }
+    if want("board") {
+        matched = true;
+        let s = build_suite(opts.kway_scale, &only, "board matrix");
+        eprintln!(
+            "running board matrix ({} feasible partitions per run) ...",
+            opts.candidates
+        );
+        match board_matrix(&s, opts.candidates, 2024) {
+            Ok((t, _)) => emit(&t, &opts.out, "board_matrix.csv"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if !matched {
         eprintln!(
-            "error: unknown exhibit {:?} (expected table1|table2|table3|table4|figure3|all)",
+            "error: unknown exhibit {:?} (expected table1|table2|table3|table4|figure3|board|all)",
             opts.exhibit
         );
         std::process::exit(2);

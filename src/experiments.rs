@@ -6,6 +6,7 @@
 //! the golden protocol runs [`Timing::Deterministic`], which prints `-`
 //! in every wall-clock cell so regenerated tables are byte-stable.
 
+use netpart_board::{demands, route_nets, Board, TopologyObjective};
 use netpart_core::{
     kway_partition, run_many, BipartitionConfig, KWayConfig, PartitionError, ReplicationMode,
 };
@@ -564,6 +565,146 @@ pub fn tables_4_to_7(
     Ok((t4, t5, t6, t7, all))
 }
 
+/// The builtin multi-FPGA board scenarios the topology experiment
+/// sweeps: a 2-FPGA direct link, a 2×2 mesh and an 8-leaf star.
+pub fn builtin_boards() -> Vec<Board> {
+    vec![Board::direct2(), Board::mesh2x2(), Board::star(8)]
+}
+
+/// One circuit × one board of the topology scenario matrix.
+#[derive(Clone, Debug)]
+pub struct BoardMatrixRecord {
+    /// Circuit name.
+    pub name: String,
+    /// Board name.
+    pub board: String,
+    /// Occupied parts of the placement that was routed.
+    pub parts: usize,
+    /// Whether the placement mapped onto the board (parts ≤ sites).
+    pub mappable: bool,
+    /// Cut nets routed (0 when unmappable).
+    pub routed_nets: usize,
+    /// Total hop cost of the routing.
+    pub hops: u64,
+    /// Total channel congestion `Σ_c max(0, load_c − cap_c)`.
+    pub congestion: u64,
+    /// Channels loaded beyond capacity.
+    pub overflowed: usize,
+    /// Peak load/capacity ratio over all channels.
+    pub max_util: f64,
+}
+
+/// The board scenario matrix: routes each circuit's cut nets over every
+/// builtin board topology and scores the topology objective.
+///
+/// The 2-site board routes the best equal-halves bipartition (functional
+/// replication at `T = 0`); the larger boards route the cost-driven
+/// k-way placement (`T = 1`). A placement occupying more parts than a
+/// board has sites is reported as unmappable (`-` cells) rather than
+/// failing the whole matrix. Under the golden protocol every cell is a
+/// pure function of `(suite, candidates, seed)`.
+///
+/// # Errors
+///
+/// [`ExperimentError::PartitionFailed`] if a partitioning run fails,
+/// [`ExperimentError::MissingRecord`] if the winning bipartition
+/// exported no placement.
+pub fn board_matrix(
+    suite: &[(String, Hypergraph)],
+    candidates: usize,
+    seed: u64,
+) -> Result<(Table, Vec<BoardMatrixRecord>), ExperimentError> {
+    let boards = builtin_boards();
+    let mut t = Table::new(
+        "Board matrix — cut nets routed over the builtin board topologies",
+        &[
+            "Circuit", "Board", "Parts", "Routed", "Hops", "Congestion", "Overflow", "Max util",
+            "Legal",
+        ],
+    );
+    let mut records = Vec::new();
+    for (name, hg) in suite {
+        let fail = |source: PartitionError| ExperimentError::PartitionFailed {
+            name: name.clone(),
+            source,
+        };
+        // The identity part→site mapping needs as many sites as occupied
+        // parts: a bipartition feeds the 2-site board, the k-way
+        // placement feeds the larger boards.
+        let bi_cfg = BipartitionConfig::equal(hg, 0.1)
+            .with_seed(seed)
+            .with_replication(ReplicationMode::functional(0));
+        let bi = run_many(hg, &bi_cfg, 3).map_err(fail)?;
+        let bi_placement =
+            bi.best()
+                .placement
+                .clone()
+                .ok_or_else(|| ExperimentError::MissingRecord {
+                    name: name.clone(),
+                    threshold: Some(0),
+                })?;
+        let kw_cfg = KWayConfig::new(DeviceLibrary::xc3000())
+            .with_candidates(candidates)
+            .with_seed(seed)
+            .with_max_passes(8)
+            .with_replication(ReplicationMode::functional(1));
+        let kw = kway_partition(hg, &kw_cfg).map_err(fail)?;
+        for board in &boards {
+            let placement = if board.n_sites() == 2 {
+                &bi_placement
+            } else {
+                &kw.placement
+            };
+            let parts = placement
+                .part_areas(hg)
+                .iter()
+                .rposition(|&a| a > 0)
+                .map_or(0, |last| last + 1);
+            let rec = match demands(hg, placement, board).map(|d| route_nets(board, &d)) {
+                Ok(Ok(routing)) => {
+                    let obj = TopologyObjective::evaluate(board, &routing);
+                    BoardMatrixRecord {
+                        name: name.clone(),
+                        board: board.name().to_string(),
+                        parts,
+                        mappable: true,
+                        routed_nets: obj.routed_nets,
+                        hops: obj.hops,
+                        congestion: obj.congestion,
+                        overflowed: obj.overflowed_channels,
+                        max_util: obj.max_channel_util,
+                    }
+                }
+                _ => BoardMatrixRecord {
+                    name: name.clone(),
+                    board: board.name().to_string(),
+                    parts,
+                    mappable: false,
+                    routed_nets: 0,
+                    hops: 0,
+                    congestion: 0,
+                    overflowed: 0,
+                    max_util: 0.0,
+                },
+            };
+            let cell = |s: String| fmt_or_dash(rec.mappable, s);
+            t.row([
+                rec.name.clone(),
+                rec.board.clone(),
+                rec.parts.to_string(),
+                cell(rec.routed_nets.to_string()),
+                cell(rec.hops.to_string()),
+                cell(rec.congestion.to_string()),
+                cell(rec.overflowed.to_string()),
+                cell(f2(rec.max_util)),
+                cell(if rec.congestion == 0 { "yes" } else { "no" }.into()),
+            ]);
+            records.push(rec);
+        }
+    }
+    Ok((t, records))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +768,22 @@ mod tests {
         let err = try_suite(1, &["nonesuch"]).expect_err("unknown circuit");
         assert!(matches!(err, ExperimentError::UnknownCircuit { .. }));
         assert!(err.to_string().contains("nonesuch"));
+    }
+
+    #[test]
+    fn board_matrix_covers_every_circuit_board_pair() {
+        let s = tiny_suite();
+        let (t, records) = board_matrix(&s, 2, 7).expect("suite circuits are satisfiable");
+        assert_eq!(records.len(), s.len() * builtin_boards().len());
+        assert_eq!(t.n_rows(), records.len());
+        // The 2-site board always routes the bipartition placement.
+        for r in records.iter().filter(|r| r.board == "direct2") {
+            assert!(r.mappable, "{r:?}");
+            assert!(r.parts <= 2, "{r:?}");
+        }
+        // Determinism: the matrix is a pure function of its inputs.
+        let (t2, _) = board_matrix(&s, 2, 7).expect("second run");
+        assert_eq!(t.to_csv(), t2.to_csv());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   2-output CLB packing);
 //! * [`fpga`] — the heterogeneous device library and the paper's cost
 //!   (eq. 1) and interconnect (eq. 2) objectives;
+//! * [`board`] — the board-topology model (device sites wired by
+//!   capacity/hop channels), the `.board` file format, the
+//!   deterministic channel router over cut nets and the
+//!   topology-aware objective terms;
 //! * [`core`] — FM bipartitioning with functional replication and the
 //!   cost-driven k-way partitioner;
 //! * [`engine`] — the deterministic parallel portfolio engine
@@ -62,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use netpart_board as board;
 pub use netpart_core as core;
 pub use netpart_engine as engine;
 pub use netpart_fpga as fpga;
@@ -78,6 +83,10 @@ pub mod experiments;
 
 /// The most common items, importable in one line.
 pub mod prelude {
+    pub use netpart_board::{
+        board_claim, demands as board_demands, parse as parse_board, route_nets, Board,
+        BoardError, NetDemand, Route, Routing, TopologyObjective,
+    };
     pub use netpart_core::{
         bipartition, kway_partition, run_many, BipartitionConfig, Budget, Degradation, FaultPlan,
         KWayConfig, PartitionError, Relaxation, ReplicationMode, SelectionStrategy, StopReason,
@@ -86,7 +95,7 @@ pub mod prelude {
         portfolio_bipartition, portfolio_kway, ContentHash, Engine, KWayPortfolioResult,
         PortfolioResult,
     };
-    pub use netpart_fpga::{assign_devices, evaluate, Device, DeviceLibrary};
+    pub use netpart_fpga::{assign_devices, evaluate, Device, DeviceLibrary, ResourceVec};
     pub use netpart_hypergraph::{
         AdjacencyMatrix, CellId, CellKind, Hypergraph, HypergraphBuilder, NetId, PartId, Placement,
     };
@@ -103,5 +112,7 @@ pub mod prelude {
         submit_job, JobCmd, JobSpec, ServeConfig, ServeReport, Server, SubmitOutcome,
     };
     pub use netpart_techmap::{decompose_wide_gates, map, MapperConfig};
-    pub use netpart_verify::{verify, verify_text, SolutionCertificate, VerifyReport, Violation};
+    pub use netpart_verify::{
+        verify, verify_text, BoardClaim, SolutionCertificate, VerifyReport, Violation,
+    };
 }

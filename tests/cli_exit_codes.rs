@@ -17,6 +17,12 @@
 //! `cert_small_ok.cert` (a real k-way run on `verify_small.blif`, seed
 //! 7) by hand mutation: each `cert_*.cert` neighbour breaks exactly one
 //! rule the original obeys.
+//!
+//! The malformed-`.board` corpus (`board_*.board`) exercises the board
+//! parser's line-numbered error contract through `--board`: each file
+//! breaks exactly one grammar or validity rule, and the reported line
+//! must be the physical 1-based line that introduced the problem — also
+//! under CRLF endings.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -128,6 +134,89 @@ fn unknown_flag_exits_two() {
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
+}
+
+/// Runs `bipartition` on the good netlist with a corpus `.board` file,
+/// returning `(exit_code, stderr)`. Board loading happens after the
+/// (tiny) solve, so the exit code isolates the board error path.
+fn bipartition_with_board(board: &str) -> (Option<i32>, String) {
+    let out = netpart()
+        .args([
+            "bipartition",
+            data("good_tiny.blif").to_str().unwrap(),
+            "--board",
+            data(board).to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn duplicate_board_site_exits_one_with_its_line() {
+    let (code, err) = bipartition_with_board("board_dup_site.board");
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("line 5"), "wrong line: {err}");
+    assert!(err.contains("duplicate site `a`"), "wrong cause: {err}");
+}
+
+#[test]
+fn phantom_channel_endpoint_exits_one_with_its_line() {
+    let (code, err) = bipartition_with_board("board_phantom_channel.board");
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("line 5"), "wrong line: {err}");
+    assert!(
+        err.contains("channel endpoint `ghost` is not a declared site"),
+        "wrong cause: {err}"
+    );
+}
+
+#[test]
+fn zero_capacity_channel_exits_one_with_its_line() {
+    let (code, err) = bipartition_with_board("board_zero_capacity.board");
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("line 5"), "wrong line: {err}");
+    assert!(
+        err.contains("capacity must be positive"),
+        "wrong cause: {err}"
+    );
+}
+
+#[test]
+fn truncated_board_exits_one_pinned_to_the_last_line() {
+    let (code, err) = bipartition_with_board("board_truncated.board");
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("line 4"), "wrong line: {err}");
+    assert!(err.contains("truncated"), "wrong cause: {err}");
+}
+
+#[test]
+fn crlf_board_keeps_exact_line_numbers() {
+    // The whole file uses \r\n endings; the zero-hop channel sits on
+    // physical line 5 and the reported number must not drift.
+    let (code, err) = bipartition_with_board("board_crlf.board");
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("line 5"), "wrong line under CRLF: {err}");
+    assert!(err.contains("hop must be positive"), "wrong cause: {err}");
+}
+
+#[test]
+fn missing_board_file_exits_one() {
+    let out = netpart()
+        .args([
+            "bipartition",
+            data("good_tiny.blif").to_str().unwrap(),
+            "--board",
+            "/nonexistent/nope.board",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read board"), "{err}");
 }
 
 #[test]

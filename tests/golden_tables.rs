@@ -17,7 +17,9 @@
 //! circuits, Tables IV–VII) take minutes and are `#[ignore]`d — CI's
 //! release step (`cargo test --release -- --ignored`) covers them.
 
-use netpart::experiments::{figure3, suite, table1, table2, table3, tables_4_to_7, Timing};
+use netpart::experiments::{
+    board_matrix, figure3, suite, table1, table2, table3, tables_4_to_7, Timing,
+};
 
 const BLESS_HINT: &str =
     "golden CSV drifted — if intentional, re-bless with `cargo run --release --bin tables -- all`";
@@ -44,6 +46,43 @@ fn table2_and_figure3_match_golden() {
     assert_eq!(figure3(&s).to_csv(), golden("figure3.csv"), "{BLESS_HINT}");
 }
 
+/// Header contract: the first CSV line of every golden is the driver's
+/// current column-header row. Runs in the cheap default pass (the
+/// drivers are invoked on an *empty* suite, so no partitioning happens)
+/// and catches column renames/reorders/additions that the `#[ignore]`d
+/// full-protocol tests would only flag minutes into a release run.
+#[test]
+fn golden_csv_headers_match_the_drivers() {
+    let header = |csv: String, name: &str| -> String {
+        csv.lines()
+            .next()
+            .unwrap_or_else(|| panic!("{name} produced an empty CSV"))
+            .to_string()
+    };
+    let expect = |csv: String, golden_name: &str| {
+        let want = header(golden(golden_name), golden_name);
+        let got = header(csv, golden_name);
+        assert_eq!(got, want, "header drift in {golden_name} — {BLESS_HINT}");
+    };
+    expect(table1().to_csv(), "table1.csv");
+    expect(table2(&[]).to_csv(), "table2.csv");
+    expect(figure3(&[]).to_csv(), "figure3.csv");
+    expect(
+        table3(&[], 20, Timing::Deterministic).expect("empty suite").0.to_csv(),
+        "table3.csv",
+    );
+    let (t4, t5, t6, t7, _) =
+        tables_4_to_7(&[], 3, 2024, Timing::Deterministic).expect("empty suite");
+    expect(t4.to_csv(), "table4.csv");
+    expect(t5.to_csv(), "table5.csv");
+    expect(t6.to_csv(), "table6.csv");
+    expect(t7.to_csv(), "table7.csv");
+    expect(
+        board_matrix(&[], 3, 2024).expect("empty suite").0.to_csv(),
+        "board_matrix.csv",
+    );
+}
+
 #[test]
 #[ignore = "full Table III protocol (20 runs x 9 full-scale circuits, ~2 min in release)"]
 fn table3_matches_golden() {
@@ -62,4 +101,12 @@ fn tables_4_to_7_match_golden() {
     assert_eq!(t5.to_csv(), golden("table5.csv"), "{BLESS_HINT}");
     assert_eq!(t6.to_csv(), golden("table6.csv"), "{BLESS_HINT}");
     assert_eq!(t7.to_csv(), golden("table7.csv"), "{BLESS_HINT}");
+}
+
+#[test]
+#[ignore = "full board-matrix protocol (scale 6, one bipartition + one k-way per circuit)"]
+fn board_matrix_matches_golden() {
+    let s = suite(6, &[]);
+    let (t, _) = board_matrix(&s, 3, 2024).expect("suite circuits are satisfiable");
+    assert_eq!(t.to_csv(), golden("board_matrix.csv"), "{BLESS_HINT}");
 }
